@@ -1,0 +1,73 @@
+"""E10 — Theorem 5.5: the corner-point method for read-once predicates.
+
+Shape claims: (a) the binary search lands on the Theorem 5.2 value for
+linear atoms (agreement of the two methods), (b) it handles genuinely
+non-linear read-once predicates (products, ratios), and (c) its cost
+grows with 2^k corners per step — the price of generality over the
+closed form.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.core import EPS_CAP, epsilon_by_corners, epsilon_for_predicate
+
+
+def test_agreement_with_closed_form_on_linear():
+    cases = [
+        ((col("x") + col("y")) >= lit(0.6), {"x": 0.5, "y": 0.5}),
+        ((col("x") - col("y")) >= lit(0.5), {"x": 1.2, "y": 0.2}),
+        ((col("x") - lit(0.5) * col("y")) >= lit(0), {"x": 0.5, "y": 0.5}),
+    ]
+    for pred, point in cases:
+        closed = min(epsilon_for_predicate(pred, point), EPS_CAP)
+        searched = epsilon_by_corners(pred, point)
+        assert searched == pytest.approx(closed, abs=1e-6)
+
+
+def test_nonlinear_ratio_and_product():
+    ratio = (col("x") / col("y")) >= lit(0.5)
+    assert epsilon_by_corners(ratio, {"x": 0.5, "y": 0.5}) == pytest.approx(
+        1 / 3, abs=1e-6
+    )
+    product = (col("x") * col("y")) >= lit(0.2)
+    eps = epsilon_by_corners(product, {"x": 0.8, "y": 0.5})
+    assert 0 < eps < 1
+
+
+def test_cost_grows_with_arity():
+    """2^k corners per probe: k = 10 costs ≫ k = 2 (shape, not constant)."""
+
+    def build(k):
+        term = lit(0.0)
+        for i in range(k):
+            term = term + col(f"x{i}")
+        return term >= lit(0.1), {f"x{i}": 0.5 for i in range(k)}
+
+    times = {}
+    for k in (2, 10):
+        pred, point = build(k)
+        start = time.perf_counter()
+        epsilon_by_corners(pred, point)
+        times[k] = time.perf_counter() - start
+    assert times[10] > 3 * times[2]
+
+
+def test_benchmark_corner_search_k4(benchmark):
+    pred = ((col("a") * col("b")) + (col("c") / col("d"))) >= lit(0.9)
+    point = {"a": 0.7, "b": 0.6, "c": 0.5, "d": 0.8}
+    eps = benchmark(epsilon_by_corners, pred, point)
+    assert eps > 0
+    benchmark.extra_info["eps"] = round(eps, 6)
+
+
+def test_benchmark_closed_form_same_shape_linear(benchmark):
+    """Reference point: the closed form on a 4-variable linear atom."""
+    pred = (col("a") + col("b") + col("c") + col("d")) >= lit(0.9)
+    point = {"a": 0.7, "b": 0.6, "c": 0.5, "d": 0.8}
+    eps = benchmark(epsilon_for_predicate, pred, point)
+    assert eps > 0

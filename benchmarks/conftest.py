@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks (E1–E17 in DESIGN.md).
+
+Each benchmark module regenerates one figure/table/claim of the paper:
+it asserts the *shape* (who wins, rough factors, crossovers) and times
+the central operation with pytest-benchmark.  The measured series are
+attached to ``benchmark.extra_info`` and printed, so EXPERIMENTS.md can
+be refreshed from a ``pytest benchmarks/ --benchmark-only -s`` run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.coins import (
+    coin_database,
+    evidence_query,
+    pick_coin_query,
+    toss_query,
+)
+from repro.urel import USession
+
+
+def coin_db_with_T():
+    """The Example 2.2 database after R, S, T (shared by several benches)."""
+    db = coin_database()
+    session = USession(db)
+    session.assign("R", pick_coin_query())
+    session.assign("S", toss_query(2))
+    session.assign("T", evidence_query(["H", "H"]))
+    return db
+
+
+@pytest.fixture
+def coin_db_T():
+    return coin_db_with_T()

@@ -1,0 +1,98 @@
+"""Conditional probabilities under integrity constraints (Theorem 4.4).
+
+Sometimes the condition we want to condition on is *universal* — e.g. a
+functional dependency that clean data must satisfy — which a positive
+existential language cannot express directly.  Theorem 4.4 shows
+Pr[φ ∧ ψ] = Pr[φ] − Pr[φ ∧ ¬ψ] for an egd ψ, keeping everything inside
+the efficiently-approximable positive UA[conf].
+
+Here: dirty person records are repaired; we compute the probability that
+Ada lives in Berlin *given* that the clean data satisfies "every person
+has one city" restricted to Ada's duplicate-prone source — all via the
+rewriting, checked against brute-force possible-world enumeration.
+
+Run:  python examples/conditional_egd.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algebra.expressions import col
+from repro.algebra.relations import Relation
+from repro.calculus import (
+    Atom,
+    Egd,
+    ExistentialQuery,
+    QVar,
+    boolean_confidence,
+    probability,
+    theorem_44_probability,
+)
+from repro.generators.tpdb import tuple_independent, add_tuple_independent
+from repro.urel import enumerate_worlds
+
+
+def main() -> None:
+    # A small tuple-independent "claims" relation: extraction claims
+    # Person -> City with per-claim confidence.
+    claims = [
+        (("ada", "berlin"), Fraction(3, 5)),
+        (("ada", "paris"), Fraction(2, 5)),
+        (("bob", "tokyo"), Fraction(1, 2)),
+    ]
+    db = tuple_independent("Lives", ("Person", "City"), claims)
+    add_tuple_independent(
+        db, "Registered", ("Person",), [(("ada",), Fraction(9, 10))]
+    )
+
+    x, c1, c2, p = QVar("x"), QVar("c1"), QVar("c2"), QVar("p")
+
+    # φ: Ada lives in Berlin and is registered.
+    phi = ExistentialQuery.of(Atom("Lives", ["ada", "berlin"])).and_(
+        ExistentialQuery.of(Atom("Registered", ["ada"]))
+    )
+
+    # ψ (egd): a person has at most one city —
+    # ∀ p,c1,c2: Lives(p,c1) ∧ Lives(p,c2) → c1 = c2.
+    body = ExistentialQuery.of(Atom("Lives", [p, c1])).and_(
+        ExistentialQuery.of(Atom("Lives", [QVar("p2"), c2]))
+    )
+    head = (~col("p").eq(col("p2"))) | col("c1").eq(col("c2"))
+    egd = Egd(body, head)
+
+    # The Theorem 4.4 rewriting, evaluated on the U-relational engine.
+    p_joint = theorem_44_probability(phi, [egd], db)
+    p_phi = boolean_confidence(phi, db)
+    p_constraint_terms = theorem_44_probability(
+        ExistentialQuery.of(Atom("Registered", ["ada"])), [egd], db
+    )
+
+    # Reference: brute-force possible worlds.
+    worlds = enumerate_worlds(db)
+    ref_joint = sum(
+        w.probability
+        for w in worlds.worlds
+        if phi.holds(w.relations) and egd.holds(w.relations)
+    )
+    p_egd = probability(egd, worlds)
+
+    print(f"Pr[φ]                 = {p_phi}  (Ada-in-Berlin claim holds)")
+    print(f"Pr[ψ] (the FD)        = {p_egd}")
+    print(f"Pr[φ ∧ ψ]  (Thm 4.4)  = {p_joint}")
+    print(f"Pr[φ ∧ ψ]  (reference) = {ref_joint}")
+    assert p_joint == ref_joint, "rewriting must equal the reference"
+
+    conditional = p_joint / p_egd
+    print()
+    print(f"Pr[Ada in Berlin ∧ registered | data satisfies the FD] "
+          f"= {conditional} ≈ {float(conditional):.4f}")
+    print()
+    print("The rewriting Pr[φ ∧ ψ] = Pr[φ] − Pr[φ ∧ ¬ψ] stayed inside")
+    print("positive UA[conf], so the whole pipeline remains efficiently")
+    print("approximable by Corollary 4.3.")
+    del p_constraint_terms, x  # illustrative only
+
+
+if __name__ == "__main__":
+    main()

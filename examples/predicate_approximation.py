@@ -1,0 +1,84 @@
+"""Predicates on approximable values: Figure 3 in isolation (Section 5).
+
+Given a #P-hard confidence p (a monotone bipartite 2-DNF) and the
+predicate "p ≥ τ", compare three ways to decide it:
+
+1. exact — the decomposition solver (exponential worst case);
+2. naive — fixed (ε₀, δ) Karp–Luby budget, then one ε_ψ check;
+3. adaptive — the Figure 3 algorithm, stopping as soon as the growing
+   orthotope around the estimate is homogeneous.
+
+Also shows a singular threshold (τ = the exact probability): the
+adaptive algorithm honestly reports that it never achieved separation.
+
+Run:  python examples/predicate_approximation.py
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import col, lit
+from repro.confidence import probability_by_decomposition
+from repro.core import approximate_predicate, naive_decide
+from repro.generators.hard import bipartite_2dnf
+from repro.util.tables import format_table
+
+EPS0 = 0.05
+DELTA = 0.01
+
+
+def main() -> None:
+    dnf = bipartite_2dnf(n_left=5, n_right=5, edge_probability=0.4, rng=11)
+    p_exact = float(probability_by_decomposition(dnf))
+    print(f"Hard instance: |F| = {dnf.size} clauses over "
+          f"{len(dnf.variables)} variables; exact p = {p_exact:.6f}")
+    print()
+
+    rows = []
+    for label, tau in [
+        ("far below", p_exact * 0.4),
+        ("below", p_exact * 0.8),
+        ("near", p_exact * 0.97),
+        ("singular", p_exact),
+        ("above", p_exact * 1.2),
+    ]:
+        pred = col("p") >= lit(tau)
+        adaptive = approximate_predicate(
+            pred, {"p": dnf}, eps0=EPS0, delta=DELTA, rng=1
+        )
+        naive = naive_decide(pred, {"p": dnf}, eps0=EPS0, delta=DELTA, rng=2)
+        speedup = naive.total_trials / max(1, adaptive.total_trials)
+        rows.append(
+            (
+                label,
+                f"{tau:.4f}",
+                "T" if adaptive.value else "F",
+                adaptive.rounds,
+                adaptive.total_trials,
+                naive.total_trials,
+                f"{speedup:.1f}x",
+                "yes" if adaptive.suspected_singularity else "",
+            )
+        )
+    print(
+        format_table(
+            (
+                "threshold",
+                "τ",
+                "φ(p̂)",
+                "rounds",
+                "adaptive trials",
+                "naive trials",
+                "speedup",
+                "singular?",
+            ),
+            rows,
+        )
+    )
+    print()
+    print("The speedup grows with the margin between p and τ — the")
+    print("(ε_φ² − ε₀²)/ε_φ² factor from the end of Section 5 — and the")
+    print("singular threshold is detected rather than silently mis-decided.")
+
+
+if __name__ == "__main__":
+    main()

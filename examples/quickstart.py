@@ -1,0 +1,76 @@
+"""Quickstart: the paper's coin-tossing example (Example 2.2), end to end.
+
+A bag holds two fair coins and one double-headed coin.  We draw a coin,
+toss it twice, observe two heads, and ask for the posterior probability
+of each coin type — the paper's flagship demonstration that the UA
+algebra computes conditional probabilities compositionally.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.algebra import col, rel
+from repro.generators.coins import (
+    coin_database,
+    evidence_query,
+    pick_coin_query,
+    posterior_query,
+    toss_query,
+)
+from repro.urel import USession, enumerate_worlds
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    db = coin_database()
+    session = USession(db)
+
+    print("Initial complete database:")
+    print(db.relation("Coins").to_complete())
+    print()
+    print(db.relation("Faces").to_complete())
+    print()
+
+    # R := pi_CoinType(repair-key_{∅@Count}(Coins)) — draw one coin.
+    u_r = session.assign("R", pick_coin_query())
+    print("U_R (Figure 1a) — the drawn coin, one row per alternative:")
+    print(u_r)
+    print()
+
+    # S := two tosses of the drawn coin.
+    u_s = session.assign("S", toss_query(2))
+    print("U_S (Figure 1b) — note the 2headed rows carry no condition:")
+    print(u_s)
+    print()
+
+    print("W table (random variables introduced by the repair-keys):")
+    print(format_table(("Var", "Dom", "P"), db.w.as_relation().sorted_rows()))
+    print()
+
+    # T := coin type if both tosses came up heads.
+    session.assign("T", evidence_query(["H", "H"]))
+
+    # U := conditional probability table via two confidence computations.
+    u = session.assign("U", posterior_query())
+    print("U — posterior Pr[CoinType | both tosses H] (paper: 1/3 vs 2/3):")
+    print(u.to_complete())
+    print()
+
+    # The same number via the approximate confidence operator conf_{ε,δ}.
+    approx = session.run(
+        rel("T").approx_conf(eps=0.05, delta=0.01, p_name="P1")
+        .join(rel("T").project([]).approx_conf(eps=0.05, delta=0.01, p_name="P2"))
+        .project(["CoinType", (col("P1") / col("P2"), "P")])
+    ).relation
+    print("Same posterior with Karp–Luby conf_{0.05, 0.01} (approximate):")
+    print(approx.to_complete())
+    print()
+
+    worlds = enumerate_worlds(db)
+    print(f"The database unfolds to {worlds.n_worlds()} possible worlds "
+          f"(the paper's eight).")
+
+
+if __name__ == "__main__":
+    main()

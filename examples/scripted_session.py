@@ -1,0 +1,54 @@
+"""Driving the engine from the textual query language.
+
+The whole Example 2.2 session — plus an approximate selection — written
+as a script in the surface syntax of `repro.algebra.parser` and executed
+against the U-relational engine.  Useful as a template for running the
+system without writing Python query trees.
+
+Run:  python examples/scripted_session.py
+"""
+
+from __future__ import annotations
+
+from repro.algebra import parse_session
+from repro.generators.coins import coin_database
+from repro.urel import USession
+
+SCRIPT = """
+# Draw one coin from the bag (weights = counts).
+R := project[CoinType](repair-key[@ Count](Coins));
+
+# Toss the drawn coin twice.
+S := project[CoinType, Toss, Face](
+       repair-key[CoinType, Toss @ FProb](
+         product(Faces, literal[Toss]{(1), (2)})));
+
+# Worlds in which both tosses came up heads, per coin type.
+T := join(R,
+          project[CoinType](select[Toss = 1 and Face = 'H'](S)),
+          project[CoinType](select[Toss = 2 and Face = 'H'](S)));
+
+# Posterior Pr[CoinType | HH] via two confidence computations.
+U := project[CoinType, P1 / P2 -> P](
+       join(conf[P1](T), conf[P2](project[](T))));
+
+# sigma-hat: keep coin types whose posterior is at most one half.
+V := aselect[P1 / P2 <= 0.5 ; conf(CoinType) as P1, conf() as P2](T);
+"""
+
+
+def main() -> None:
+    db = coin_database()
+    session = USession(db)
+    for name, query in parse_session(SCRIPT):
+        result = session.assign(name, query)
+        print(f"{name} :=")
+        print(result)
+        print()
+
+    print("U matches Example 2.2 exactly: fair -> 1/3, 2headed -> 2/3;")
+    print("V keeps only the fair coin (posterior 1/3 <= 1/2).")
+
+
+if __name__ == "__main__":
+    main()

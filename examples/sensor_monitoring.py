@@ -1,0 +1,80 @@
+"""Sensor monitoring: alarms on confidence thresholds over noisy readings.
+
+Each sensor reports a noisy discretized level per epoch; ``repair-key``
+turns the per-reading weight distributions into a probabilistic database
+of true states.  The monitoring rule "flag a sensor if Pr[it read HIGH
+at least once] ≥ τ" is an approximate selection; the Figure 3 algorithm
+spends few samples on clearly-hot or clearly-cold sensors and more on
+the borderline ones — exactly the adaptivity Section 5 is about.
+
+Run:  python examples/sensor_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ApproxQueryEvaluator
+from repro.generators.sensors import (
+    alarm_confidence_query,
+    hot_sensor_selection,
+    sensor_readings,
+    true_levels_query,
+)
+from repro.urel import USession
+from repro.util.tables import format_table
+
+THRESHOLD = 0.6
+DELTA_PER_DECISION = 0.01
+EPS0 = 0.05
+
+
+def main() -> None:
+    data = sensor_readings(n_sensors=6, n_epochs=3, rng=99)
+    db = data.database()
+    session = USession(db)
+    session.assign("State", true_levels_query())
+
+    exact = session.run(alarm_confidence_query()).relation.to_complete()
+    print("Exact alarm probabilities (Pr[sensor reads HIGH in some epoch]):")
+    print(format_table(exact.columns, exact.sorted_rows()))
+    print()
+
+    evaluator = ApproxQueryEvaluator(
+        db, eps0=EPS0, decision_delta=DELTA_PER_DECISION, rng=5
+    )
+    out = evaluator.evaluate(hot_sensor_selection(THRESHOLD))
+
+    print(f"σ̂: flag sensors with alarm probability ≥ {THRESHOLD} "
+          f"(per-decision δ = {DELTA_PER_DECISION})")
+    print()
+    print("Flagged sensors (estimated probabilities):")
+    print(out.relation)
+    print()
+
+    print("Per-sensor decision effort (Figure 3 adapts to the margin):")
+    rows = []
+    for record in evaluator.decision_log:
+        decision = record.decision
+        rows.append(
+            (
+                record.data[0],
+                "flag" if decision.value else "pass",
+                f"{decision.estimates['P1']:.3f}",
+                decision.rounds,
+                decision.total_trials,
+                f"{decision.eps_psi:.3f}",
+                "suspected" if decision.suspected_singularity else "",
+            )
+        )
+    print(
+        format_table(
+            ("Sensor", "Decision", "p̂", "Rounds", "Trials", "ε_ψ", "Singular?"),
+            rows,
+        )
+    )
+    print()
+    print("Sensors near the threshold need many more rounds than clear-cut "
+          "ones — the adaptive win of the Figure 3 algorithm.")
+
+
+if __name__ == "__main__":
+    main()

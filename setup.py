@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This repository is developed in an offline environment without the
+``wheel`` package, so PEP 517/660 editable installs are unavailable;
+``pip install -e .`` uses this shim via the legacy ``setup.py develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

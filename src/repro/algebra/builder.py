@@ -1,0 +1,124 @@
+"""Fluent construction helpers for UA queries.
+
+The paper writes queries in algebra notation; this module provides a thin
+builder so the examples read close to the paper::
+
+    from repro.algebra.builder import rel, literal
+    R = rel("Coins").repair_key([], weight="Count").project(["CoinType"])
+
+Every method returns a new :class:`~repro.algebra.operators.Query` wrapper;
+``.q`` is the underlying AST node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Optional
+
+from repro.algebra.expressions import BoolExpr, Value
+from repro.algebra.operators import (
+    ApproxConf,
+    ApproxSelect,
+    BaseRel,
+    Cert,
+    Conf,
+    Difference,
+    Join,
+    Literal,
+    Poss,
+    Product,
+    Project,
+    Query,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.algebra.relations import ProjectionItem, Relation
+
+__all__ = ["Q", "rel", "literal", "query"]
+
+
+class Q:
+    """Chainable wrapper around a query AST node."""
+
+    __slots__ = ("q",)
+
+    def __init__(self, node: Query):
+        self.q = node
+
+    # -- classical algebra -----------------------------------------------
+    def select(self, condition: BoolExpr) -> "Q":
+        return Q(Select(self.q, condition))
+
+    def where(self, condition: BoolExpr) -> "Q":
+        return self.select(condition)
+
+    def project(self, items: Sequence[ProjectionItem | str]) -> "Q":
+        return Q(Project(self.q, items))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Q":
+        return Q(Rename(self.q, mapping))
+
+    def product(self, other: "Q") -> "Q":
+        return Q(Product(self.q, other.q))
+
+    def join(self, other: "Q") -> "Q":
+        return Q(Join(self.q, other.q))
+
+    def union(self, other: "Q") -> "Q":
+        return Q(Union(self.q, other.q))
+
+    def difference(self, other: "Q") -> "Q":
+        return Q(Difference(self.q, other.q))
+
+    def __mul__(self, other: "Q") -> "Q":
+        return self.product(other)
+
+    def __or__(self, other: "Q") -> "Q":
+        return self.union(other)
+
+    def __sub__(self, other: "Q") -> "Q":
+        return self.difference(other)
+
+    # -- uncertainty operations --------------------------------------------
+    def repair_key(self, key: Sequence[str], weight: str) -> "Q":
+        return Q(RepairKey(self.q, key, weight))
+
+    def conf(self, p_name: str = "P") -> "Q":
+        return Q(Conf(self.q, p_name))
+
+    def approx_conf(self, eps: float, delta: float, p_name: str = "P") -> "Q":
+        return Q(ApproxConf(self.q, eps, delta, p_name))
+
+    def poss(self) -> "Q":
+        return Q(Poss(self.q))
+
+    def cert(self) -> "Q":
+        return Q(Cert(self.q))
+
+    def approx_select(
+        self,
+        predicate: BoolExpr,
+        groups: Sequence[Sequence[str]],
+        p_names: Optional[Sequence[str]] = None,
+    ) -> "Q":
+        return Q(ApproxSelect(self.q, predicate, groups, p_names))
+
+    def __repr__(self) -> str:
+        return f"Q({self.q!r})"
+
+
+def rel(name: str) -> Q:
+    """Reference a named base relation."""
+    return Q(BaseRel(name))
+
+
+def literal(columns: Sequence[str], rows: Sequence[Sequence[Value]]) -> Q:
+    """Inline constant relation, e.g. ``literal(["Toss"], [[1], [2]])``."""
+    return Q(Literal(Relation.from_rows(columns, rows)))
+
+
+def query(node: Query | Q) -> Query:
+    """Unwrap a builder (or pass an AST node through)."""
+    return node.q if isinstance(node, Q) else node

@@ -1,0 +1,413 @@
+"""Arithmetic and Boolean expressions over tuple attributes.
+
+The paper allows "selection conditions that are Boolean combinations of
+atomic conditions (i.e., negation is permitted even in positive UA) and
+arithmetic expressions in atomic conditions and in the arguments of
+``pi`` and ``rho``" (Section 2).  This module is that expression
+language:
+
+* arithmetic terms built from attributes, constants and ``+ - * /``,
+* comparison atoms ``< <= = != >= >``,
+* Boolean combinations ``And / Or / Not``.
+
+Expressions support operator overloading so queries read naturally::
+
+    from repro.algebra.expressions import col, lit
+    pred = (col("P1") / col("P2")) <= lit(0.5)
+
+The same AST doubles as the predicate language of Section 5: there the
+attributes are the approximable values ``p1..pk`` and `repro.core`
+analyses the AST symbolically (linear-form extraction, read-once checks,
+NNF normalization).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+__all__ = [
+    "Expr",
+    "Term",
+    "Attr",
+    "Const",
+    "Arith",
+    "BoolExpr",
+    "Cmp",
+    "And",
+    "Or",
+    "Not",
+    "BoolConst",
+    "col",
+    "lit",
+    "as_term",
+    "attributes",
+    "rename_attributes",
+    "substitute_constants",
+    "to_nnf",
+    "negate_cmp",
+    "TRUE",
+    "FALSE",
+]
+
+Value = Union[int, float, Fraction, str]
+Row = Mapping[str, Value]
+
+_CMP_FUNCS: dict[str, Callable[[Value, Value], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+}
+
+_CMP_NEGATION = {"<": ">=", "<=": ">", "=": "!=", "!=": "=", ">=": "<", ">": "<="}
+
+_ARITH_FUNCS: dict[str, Callable[[Value, Value], Value]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Expr:
+    """Base class of all expression nodes (terms and Boolean formulas)."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Row) -> Value:
+        raise NotImplementedError
+
+
+class Term(Expr):
+    """Numeric/string-valued expression node."""
+
+    __slots__ = ()
+
+    # -- arithmetic sugar ------------------------------------------------
+    def __add__(self, other: object) -> "Arith":
+        return Arith("+", self, as_term(other))
+
+    def __radd__(self, other: object) -> "Arith":
+        return Arith("+", as_term(other), self)
+
+    def __sub__(self, other: object) -> "Arith":
+        return Arith("-", self, as_term(other))
+
+    def __rsub__(self, other: object) -> "Arith":
+        return Arith("-", as_term(other), self)
+
+    def __mul__(self, other: object) -> "Arith":
+        return Arith("*", self, as_term(other))
+
+    def __rmul__(self, other: object) -> "Arith":
+        return Arith("*", as_term(other), self)
+
+    def __truediv__(self, other: object) -> "Arith":
+        return Arith("/", self, as_term(other))
+
+    def __rtruediv__(self, other: object) -> "Arith":
+        return Arith("/", as_term(other), self)
+
+    def __neg__(self) -> "Arith":
+        return Arith("-", Const(0), self)
+
+    # -- comparison sugar ------------------------------------------------
+    # NB: __eq__/__ne__ stay identity-based so AST nodes remain hashable;
+    # use .eq()/.ne() to build equality atoms.
+    def __lt__(self, other: object) -> "Cmp":
+        return Cmp("<", self, as_term(other))
+
+    def __le__(self, other: object) -> "Cmp":
+        return Cmp("<=", self, as_term(other))
+
+    def __gt__(self, other: object) -> "Cmp":
+        return Cmp(">", self, as_term(other))
+
+    def __ge__(self, other: object) -> "Cmp":
+        return Cmp(">=", self, as_term(other))
+
+    def eq(self, other: object) -> "Cmp":
+        return Cmp("=", self, as_term(other))
+
+    def ne(self, other: object) -> "Cmp":
+        return Cmp("!=", self, as_term(other))
+
+
+@dataclass(frozen=True, slots=True)
+class Attr(Term):
+    """Reference to a tuple attribute by name."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Value:
+        try:
+            return row[self.name]
+        except KeyError as exc:
+            raise KeyError(f"attribute {self.name!r} missing from row {dict(row)!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Term):
+    """Literal constant."""
+
+    value: Value
+
+    def evaluate(self, row: Row) -> Value:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Arith(Term):
+    """Binary arithmetic: ``+ - * /``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_FUNCS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> Value:
+        return _ARITH_FUNCS[self.op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BoolExpr(Expr):
+    """Boolean-valued expression node."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "BoolExpr") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "BoolExpr") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def evaluate(self, row: Row) -> bool:  # narrowed return type
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Cmp(BoolExpr):
+    """Atomic comparison between two terms."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_FUNCS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        return _CMP_FUNCS[self.op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(BoolExpr):
+    """Conjunction of one or more Boolean expressions."""
+
+    args: tuple[BoolExpr, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return all(a.evaluate(row) for a in self.args)
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(BoolExpr):
+    """Disjunction of one or more Boolean expressions."""
+
+    args: tuple[BoolExpr, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return any(a.evaluate(row) for a in self.args)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(BoolExpr):
+    """Negation."""
+
+    arg: BoolExpr
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.arg.evaluate(row)
+
+    def __repr__(self) -> str:
+        return f"~{self.arg!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolConst(BoolExpr):
+    """Boolean literal (``TRUE`` / ``FALSE``)."""
+
+    value: bool
+
+    def evaluate(self, row: Row) -> bool:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+def col(name: str) -> Attr:
+    """Shorthand attribute reference."""
+    return Attr(name)
+
+
+def lit(value: Value) -> Const:
+    """Shorthand constant."""
+    return Const(value)
+
+
+def as_term(value: object) -> Term:
+    """Coerce Python scalars to :class:`Const`; pass terms through."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, (int, float, Fraction, str)):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} as a term")
+
+
+def attributes(expr: Expr) -> frozenset[str]:
+    """The set of attribute names mentioned anywhere in ``expr``."""
+    found: set[str] = set()
+    _collect_attributes(expr, found)
+    return frozenset(found)
+
+
+def _collect_attributes(expr: Expr, out: set[str]) -> None:
+    if isinstance(expr, Attr):
+        out.add(expr.name)
+    elif isinstance(expr, Const) or isinstance(expr, BoolConst):
+        pass
+    elif isinstance(expr, Arith):
+        _collect_attributes(expr.left, out)
+        _collect_attributes(expr.right, out)
+    elif isinstance(expr, Cmp):
+        _collect_attributes(expr.left, out)
+        _collect_attributes(expr.right, out)
+    elif isinstance(expr, And) or isinstance(expr, Or):
+        for a in expr.args:
+            _collect_attributes(a, out)
+    elif isinstance(expr, Not):
+        _collect_attributes(expr.arg, out)
+    else:
+        raise TypeError(f"unknown expression node {expr!r}")
+
+
+def rename_attributes(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    """Rewrite attribute references according to ``mapping`` (missing keys kept)."""
+    if isinstance(expr, Attr):
+        return Attr(mapping.get(expr.name, expr.name))
+    if isinstance(expr, (Const, BoolConst)):
+        return expr
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op,
+            rename_attributes(expr.left, mapping),  # type: ignore[arg-type]
+            rename_attributes(expr.right, mapping),  # type: ignore[arg-type]
+        )
+    if isinstance(expr, Cmp):
+        return Cmp(
+            expr.op,
+            rename_attributes(expr.left, mapping),  # type: ignore[arg-type]
+            rename_attributes(expr.right, mapping),  # type: ignore[arg-type]
+        )
+    if isinstance(expr, And):
+        return And(tuple(rename_attributes(a, mapping) for a in expr.args))  # type: ignore[arg-type]
+    if isinstance(expr, Or):
+        return Or(tuple(rename_attributes(a, mapping) for a in expr.args))  # type: ignore[arg-type]
+    if isinstance(expr, Not):
+        return Not(rename_attributes(expr.arg, mapping))  # type: ignore[arg-type]
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def substitute_constants(expr: Expr, values: Mapping[str, Value]) -> Expr:
+    """Replace attribute references found in ``values`` by constants."""
+    if isinstance(expr, Attr):
+        if expr.name in values:
+            return Const(values[expr.name])
+        return expr
+    if isinstance(expr, (Const, BoolConst)):
+        return expr
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op,
+            substitute_constants(expr.left, values),  # type: ignore[arg-type]
+            substitute_constants(expr.right, values),  # type: ignore[arg-type]
+        )
+    if isinstance(expr, Cmp):
+        return Cmp(
+            expr.op,
+            substitute_constants(expr.left, values),  # type: ignore[arg-type]
+            substitute_constants(expr.right, values),  # type: ignore[arg-type]
+        )
+    if isinstance(expr, And):
+        return And(tuple(substitute_constants(a, values) for a in expr.args))  # type: ignore[arg-type]
+    if isinstance(expr, Or):
+        return Or(tuple(substitute_constants(a, values) for a in expr.args))  # type: ignore[arg-type]
+    if isinstance(expr, Not):
+        return Not(substitute_constants(expr.arg, values))  # type: ignore[arg-type]
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def negate_cmp(atom: Cmp) -> Cmp:
+    """The complementary comparison (``not (a < b)`` is ``a >= b``)."""
+    return Cmp(_CMP_NEGATION[atom.op], atom.left, atom.right)
+
+
+def to_nnf(expr: BoolExpr) -> BoolExpr:
+    """Negation normal form.
+
+    Pushes ``Not`` down through ``And``/``Or`` by De Morgan and into
+    comparison atoms by flipping the operator, exactly the preprocessing
+    step Section 5 of the paper prescribes before combining epsilons
+    with min/max.
+    """
+    return _nnf(expr, negate=False)
+
+
+def _nnf(expr: BoolExpr, negate: bool) -> BoolExpr:
+    if isinstance(expr, Not):
+        return _nnf(expr.arg, not negate)
+    if isinstance(expr, BoolConst):
+        return BoolConst(expr.value != negate)
+    if isinstance(expr, Cmp):
+        return negate_cmp(expr) if negate else expr
+    if isinstance(expr, And):
+        parts = tuple(_nnf(a, negate) for a in expr.args)
+        return Or(parts) if negate else And(parts)
+    if isinstance(expr, Or):
+        parts = tuple(_nnf(a, negate) for a in expr.args)
+        return And(parts) if negate else Or(parts)
+    raise TypeError(f"unknown boolean node {expr!r}")

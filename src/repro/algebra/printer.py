@@ -1,0 +1,184 @@
+"""Rendering UA query trees back into the textual language.
+
+``unparse_query`` is the inverse of
+:func:`repro.algebra.parser.parse_query`: for every constructible AST it
+emits text that parses back to an equal tree (round-trip property-tested
+in ``tests/test_algebra_printer.py``).  Useful for logging query plans,
+error messages, and persisting sessions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    BoolConst,
+    BoolExpr,
+    Cmp,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Term,
+)
+from repro.algebra.operators import (
+    ApproxConf,
+    ApproxSelect,
+    BaseRel,
+    Cert,
+    Conf,
+    Difference,
+    Join,
+    Literal,
+    Poss,
+    Product,
+    Project,
+    Query,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+
+__all__ = ["unparse_query", "unparse_expression", "unparse_session"]
+
+# Operator precedence for expression printing (higher binds tighter).
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_NOT = 3
+_PREC_CMP = 4
+_PREC_ADD = 5
+_PREC_MUL = 6
+_PREC_ATOM = 7
+
+
+def unparse_expression(expr: Expr) -> str:
+    """Render a condition/term in the textual language's expression syntax."""
+    return _expr(expr, parent_precedence=0)
+
+
+def _wrap(text: str, precedence: int, parent: int) -> str:
+    return f"({text})" if precedence < parent else text
+
+
+def _expr(expr: Expr, parent_precedence: int) -> str:
+    if isinstance(expr, Attr):
+        return expr.name
+    if isinstance(expr, Const):
+        return _scalar(expr.value)
+    if isinstance(expr, BoolConst):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Arith):
+        precedence = _PREC_ADD if expr.op in "+-" else _PREC_MUL
+        left = _expr(expr.left, precedence)
+        # Right operand of -,/ needs a strictly tighter context so that
+        # a - (b - c) and a / (b * c) keep their grouping.
+        right = _expr(expr.right, precedence + (1 if expr.op in "-/" else 0))
+        return _wrap(f"{left} {expr.op} {right}", precedence, parent_precedence)
+    if isinstance(expr, Cmp):
+        left = _expr(expr.left, _PREC_CMP + 1)
+        right = _expr(expr.right, _PREC_CMP + 1)
+        return _wrap(f"{left} {expr.op} {right}", _PREC_CMP, parent_precedence)
+    if isinstance(expr, Not):
+        inner = _expr(expr.arg, _PREC_NOT + 1)
+        return _wrap(f"not {inner}", _PREC_NOT, parent_precedence)
+    if isinstance(expr, And):
+        inner = " and ".join(_expr(a, _PREC_AND + 1) for a in expr.args)
+        return _wrap(inner, _PREC_AND, parent_precedence)
+    if isinstance(expr, Or):
+        inner = " or ".join(_expr(a, _PREC_OR + 1) for a in expr.args)
+        return _wrap(inner, _PREC_OR, parent_precedence)
+    raise TypeError(f"cannot unparse expression node {expr!r}")
+
+
+def _scalar(value) -> str:
+    if isinstance(value, bool):
+        raise TypeError("boolean scalars are not part of the surface syntax")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        # decimals parse back to exact Fractions; emit a division otherwise
+        return f"({value.numerator} / {value.denominator})"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise TypeError(f"cannot unparse scalar {value!r}")
+
+
+def unparse_query(query: Query) -> str:
+    """Render a query tree in the textual language."""
+    if isinstance(query, BaseRel):
+        return query.name
+    if isinstance(query, Literal):
+        columns = ", ".join(query.relation.columns)
+        rows = ", ".join(
+            "(" + ", ".join(_scalar(v) for v in row) + ")"
+            for row in query.relation.sorted_rows()
+        )
+        return f"literal[{columns}]{{{rows}}}"
+    if isinstance(query, Select):
+        return (
+            f"select[{unparse_expression(query.condition)}]"
+            f"({unparse_query(query.child)})"
+        )
+    if isinstance(query, Project):
+        items = []
+        for expr, name in query.items:
+            if isinstance(expr, Attr) and expr.name == name:
+                items.append(name)
+            else:
+                items.append(f"{unparse_expression(expr)} -> {name}")
+        return f"project[{', '.join(items)}]({unparse_query(query.child)})"
+    if isinstance(query, Rename):
+        items = ", ".join(f"{old} -> {new}" for old, new in query.mapping)
+        return f"rename[{items}]({unparse_query(query.child)})"
+    if isinstance(query, Product):
+        return f"product({unparse_query(query.left)}, {unparse_query(query.right)})"
+    if isinstance(query, Join):
+        return f"join({unparse_query(query.left)}, {unparse_query(query.right)})"
+    if isinstance(query, Union):
+        return f"union({unparse_query(query.left)}, {unparse_query(query.right)})"
+    if isinstance(query, Difference):
+        return f"diff({unparse_query(query.left)}, {unparse_query(query.right)})"
+    if isinstance(query, RepairKey):
+        key = ", ".join(query.key)
+        sep = " " if key else ""
+        return (
+            f"repair-key[{key}{sep}@ {query.weight}]"
+            f"({unparse_query(query.child)})"
+        )
+    if isinstance(query, Conf):
+        return f"conf[{query.p_name}]({unparse_query(query.child)})"
+    if isinstance(query, ApproxConf):
+        return (
+            f"aconf[{query.eps!r}, {query.delta!r}, {query.p_name}]"
+            f"({unparse_query(query.child)})"
+        )
+    if isinstance(query, Poss):
+        return f"poss({unparse_query(query.child)})"
+    if isinstance(query, Cert):
+        return f"cert({unparse_query(query.child)})"
+    if isinstance(query, ApproxSelect):
+        groups = ", ".join(
+            f"conf({', '.join(group)}) as {p_name}"
+            for group, p_name in zip(query.groups, query.p_names)
+        )
+        return (
+            f"aselect[{unparse_expression(query.predicate)} ; {groups}]"
+            f"({unparse_query(query.child)})"
+        )
+    raise TypeError(f"cannot unparse query node {query!r}")
+
+
+def unparse_session(assignments: list[tuple[str, Query]]) -> str:
+    """Render ``(name, query)`` pairs as a ``Name := query;`` script."""
+    return "\n".join(
+        f"{name} := {unparse_query(query)};" for name, query in assignments
+    )

@@ -1,0 +1,186 @@
+"""Plain (complete) relations with set semantics and classical relational algebra.
+
+These are the per-world relations of the possible-worlds engine
+(`repro.worlds`) and the payload part of U-relations (`repro.urel`).
+All operations are pure: they return new relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.algebra import schema as _schema
+from repro.algebra.expressions import BoolExpr, Expr, Term, Value, as_term
+
+__all__ = ["Relation", "ProjectionItem", "empty_relation"]
+
+ProjectionItem = tuple[Union[Term, str], str]
+"""A generalized projection item: ``(expression_or_attribute, output_name)``."""
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An ordinary relation: a schema and a frozen set of tuples."""
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple[Value, ...]] = field(default_factory=frozenset)
+
+    # ---------------------------------------------------------------- basics
+    def __post_init__(self) -> None:
+        cols = _schema.check_schema(self.columns)
+        object.__setattr__(self, "columns", cols)
+        frozen = frozenset(tuple(r) for r in self.rows)
+        for r in frozen:
+            if len(r) != len(cols):
+                raise _schema.SchemaError(
+                    f"tuple {r!r} has arity {len(r)}, schema {cols} has {len(cols)}"
+                )
+        object.__setattr__(self, "rows", frozen)
+
+    @staticmethod
+    def from_rows(columns: Sequence[str], rows: Iterable[Sequence[Value]]) -> "Relation":
+        """Build a relation from any iterable of row sequences."""
+        return Relation(tuple(columns), frozenset(tuple(r) for r in rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self.rows
+
+    def row_dicts(self) -> Iterable[dict[str, Value]]:
+        """Iterate rows as attribute-name dictionaries."""
+        cols = self.columns
+        for row in self.rows:
+            yield dict(zip(cols, row))
+
+    def sorted_rows(self) -> list[tuple[Value, ...]]:
+        """Rows in a stable display order."""
+        return sorted(self.rows, key=repr)
+
+    # ------------------------------------------------------------- operators
+    def select(self, condition: BoolExpr) -> "Relation":
+        """``sigma_condition(R)``."""
+        cols = self.columns
+        kept = frozenset(
+            row for row in self.rows if condition.evaluate(dict(zip(cols, row)))
+        )
+        return Relation(cols, kept)
+
+    def project(self, items: Sequence[ProjectionItem | str]) -> "Relation":
+        """Generalized projection ``pi``/``rho`` with arithmetic.
+
+        Each item is either an attribute name (kept under its own name) or a
+        pair ``(expression, output_name)``.  Mirrors the paper's
+        ``rho_{A+B->C}(R)`` style of arithmetic projections.
+        """
+        normalized = normalize_projection(items)
+        out_cols = tuple(name for _, name in normalized)
+        cols = self.columns
+        out_rows = set()
+        for row in self.rows:
+            env = dict(zip(cols, row))
+            out_rows.add(tuple(expr.evaluate(env) for expr, _ in normalized))
+        return Relation(out_cols, frozenset(out_rows))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Pure attribute renaming ``rho``."""
+        missing = set(mapping) - set(self.columns)
+        if missing:
+            raise _schema.SchemaError(f"cannot rename missing attributes {sorted(missing)}")
+        new_cols = tuple(mapping.get(c, c) for c in self.columns)
+        return Relation(new_cols, self.rows)
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product ``x`` (schemas must be disjoint)."""
+        out_cols = _schema.disjoint_union(self.columns, other.columns)
+        out_rows = frozenset(l + r for l in self.rows for r in other.rows)
+        return Relation(out_cols, out_rows)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on shared attribute names."""
+        out_cols, shared = _schema.natural_join_schema(self.columns, other.columns)
+        lpos = _schema.positions(self.columns, shared)
+        rpos = _schema.positions(other.columns, shared)
+        rkeep = [i for i, c in enumerate(other.columns) if c not in set(shared)]
+        by_key: dict[tuple[Value, ...], list[tuple[Value, ...]]] = {}
+        for row in other.rows:
+            by_key.setdefault(tuple(row[i] for i in rpos), []).append(row)
+        out_rows = set()
+        for lrow in self.rows:
+            key = tuple(lrow[i] for i in lpos)
+            for rrow in by_key.get(key, ()):
+                out_rows.add(lrow + tuple(rrow[i] for i in rkeep))
+        return Relation(out_cols, frozenset(out_rows))
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union (schemas must match by name, order-insensitively)."""
+        other_aligned = other._align_to(self.columns)
+        return Relation(self.columns, self.rows | other_aligned.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference (schemas must match)."""
+        other_aligned = other._align_to(self.columns)
+        return Relation(self.columns, self.rows - other_aligned.rows)
+
+    def intersect(self, other: "Relation") -> "Relation":
+        """Set intersection (schemas must match)."""
+        other_aligned = other._align_to(self.columns)
+        return Relation(self.columns, self.rows & other_aligned.rows)
+
+    def _align_to(self, columns: tuple[str, ...]) -> "Relation":
+        if self.columns == columns:
+            return self
+        if set(self.columns) != set(columns):
+            raise _schema.SchemaError(
+                f"incompatible schemas {self.columns} vs {columns}"
+            )
+        pos = _schema.positions(self.columns, columns)
+        return Relation(columns, frozenset(tuple(r[i] for i in pos) for r in self.rows))
+
+    def __str__(self) -> str:
+        from repro.util.tables import format_table
+
+        return format_table(self.columns, self.sorted_rows())
+
+
+def normalize_projection(
+    items: Sequence[ProjectionItem | str],
+) -> list[tuple[Expr, str]]:
+    """Normalize projection items to ``(Term, output_name)`` pairs."""
+    from repro.algebra.expressions import Attr
+
+    normalized: list[tuple[Expr, str]] = []
+    seen: set[str] = set()
+    for item in items:
+        if isinstance(item, str):
+            expr: Term = Attr(item)
+            name = item
+        elif isinstance(item, Attr):
+            # a bare attribute reference keeps its own name
+            expr = item
+            name = item.name
+        else:
+            try:
+                raw, name = item
+            except TypeError:
+                raise _schema.SchemaError(
+                    f"projection item {item!r} needs an output name; "
+                    f"use (expression, name)"
+                ) from None
+            expr = Attr(raw) if isinstance(raw, str) else as_term(raw)
+        if name in seen:
+            raise _schema.SchemaError(f"duplicate output attribute {name!r} in projection")
+        seen.add(name)
+        normalized.append((expr, name))
+    return normalized
+
+
+def empty_relation(columns: Sequence[str]) -> Relation:
+    """Convenience constructor for an empty relation over ``columns``."""
+    return Relation(tuple(columns), frozenset())

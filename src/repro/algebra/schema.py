@@ -1,0 +1,66 @@
+"""Relation schemas.
+
+A schema is an ordered tuple of attribute names.  The paper works with
+named attributes (``CoinType``, ``Toss``, ``Face``, probability columns
+``P``, ``P1``, ...); order matters only for display, but we keep tuples
+ordered so relations have a canonical column layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "SchemaError",
+    "check_schema",
+    "disjoint_union",
+    "natural_join_schema",
+    "positions",
+]
+
+
+class SchemaError(ValueError):
+    """Raised when an operation is applied to incompatible schemas."""
+
+
+def check_schema(columns: Sequence[str]) -> tuple[str, ...]:
+    """Validate and freeze a column list (no duplicates, all strings)."""
+    cols = tuple(columns)
+    for c in cols:
+        if not isinstance(c, str) or not c:
+            raise SchemaError(f"attribute names must be non-empty strings, got {c!r}")
+    if len(set(cols)) != len(cols):
+        raise SchemaError(f"duplicate attribute names in schema {cols}")
+    return cols
+
+
+def positions(columns: Sequence[str], wanted: Iterable[str]) -> tuple[int, ...]:
+    """Indices of ``wanted`` attributes within ``columns``."""
+    index = {c: i for i, c in enumerate(columns)}
+    try:
+        return tuple(index[w] for w in wanted)
+    except KeyError as exc:
+        raise SchemaError(f"attribute {exc.args[0]!r} not in schema {tuple(columns)}") from exc
+
+
+def disjoint_union(left: Sequence[str], right: Sequence[str]) -> tuple[str, ...]:
+    """Schema of a product: attributes must not collide."""
+    overlap = set(left) & set(right)
+    if overlap:
+        raise SchemaError(
+            f"product requires disjoint schemas; shared attributes: {sorted(overlap)}"
+        )
+    return check_schema(tuple(left) + tuple(right))
+
+
+def natural_join_schema(
+    left: Sequence[str], right: Sequence[str]
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Schema of a natural join and the shared attributes.
+
+    Returns ``(joined_schema, shared)`` where ``joined_schema`` lists the
+    left attributes followed by the non-shared right attributes.
+    """
+    shared = tuple(c for c in left if c in set(right))
+    joined = tuple(left) + tuple(c for c in right if c not in set(left))
+    return check_schema(joined), shared

@@ -1,0 +1,35 @@
+"""Existential calculus + egds and the Theorem 4.4 conditional-probability rewriting."""
+
+from repro.calculus.compile import (
+    boolean_confidence,
+    compile_conjunctive,
+    compile_existential,
+    resolve_positional,
+    theorem_44_algebra,
+    theorem_44_probability,
+    theorem_44_terms,
+)
+from repro.calculus.queries import (
+    Atom,
+    ConjunctiveQuery,
+    Egd,
+    ExistentialQuery,
+    QVar,
+    probability,
+)
+
+__all__ = [
+    "QVar",
+    "Atom",
+    "ConjunctiveQuery",
+    "ExistentialQuery",
+    "Egd",
+    "probability",
+    "compile_conjunctive",
+    "compile_existential",
+    "resolve_positional",
+    "boolean_confidence",
+    "theorem_44_terms",
+    "theorem_44_algebra",
+    "theorem_44_probability",
+]

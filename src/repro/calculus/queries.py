@@ -1,0 +1,267 @@
+"""Existential queries and equality-generating dependencies (Theorem 4.4).
+
+The paper's Theorem 4.4 rewrites conditional-probability queries: if π
+is built from existential relational-calculus queries and (slightly
+generalized) egds using ∧ and ∨, then conf(π) is expressible in positive
+UA[conf].  The key step: for φ existential and ψ an egd,
+
+    Pr[φ ∧ ψ] = Pr[φ] − Pr[φ ∧ ¬ψ]
+
+and ¬ψ is existential.  Typical use: Pr[φ | ψ] with ψ a functional
+dependency the dirty data is conditioned on.
+
+This module defines the calculus objects and their *reference*
+semantics over explicit possible worlds:
+
+* :class:`Atom` — R(t₁,…,t_k) with variables/constants,
+* :class:`ConjunctiveQuery` — ∃x̄ (atom conjunction ∧ constraint),
+* :class:`ExistentialQuery` — a union (DNF) of conjunctive queries;
+  closed under the ∨ and ∧ (via distribution) of the theorem,
+* :class:`Egd` — ∀x̄ φ(x̄) ⇒ ψ(x̄) with φ positive and ψ a Boolean
+  combination of equalities; :meth:`Egd.negation` is the existential
+  query ∃x̄ (φ ∧ ¬ψ).
+
+The compilation to UA algebra lives in `repro.calculus.compile`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.algebra.expressions import BoolExpr, TRUE, to_nnf
+from repro.algebra.relations import Relation
+from repro.worlds.database import PossibleWorldsDB, Prob
+
+__all__ = [
+    "QVar",
+    "Atom",
+    "ConjunctiveQuery",
+    "ExistentialQuery",
+    "Egd",
+    "rename_variables",
+    "probability",
+]
+
+
+@dataclass(frozen=True)
+class QVar:
+    """A calculus variable (distinct from attribute names)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom R(t₁,…,t_k); terms are :class:`QVar` or constants."""
+
+    relation: str
+    terms: tuple
+
+    def __init__(self, relation: str, terms: Sequence):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(t.name for t in self.terms if isinstance(t, QVar))
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """∃x̄ (A₁ ∧ … ∧ A_m ∧ constraint), constraint over variable names.
+
+    The ``constraint`` is a Boolean expression whose attributes are the
+    query's variable names — this carries the (dis)equalities produced by
+    negating egd heads.
+    """
+
+    atoms: tuple[Atom, ...]
+    constraint: BoolExpr = TRUE
+
+    def __init__(self, atoms: Sequence[Atom], constraint: BoolExpr = TRUE):
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "constraint", constraint)
+        if not self.atoms:
+            raise ValueError("a conjunctive query needs at least one atom")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for a in self.atoms:
+            out |= a.variables
+        return frozenset(out)
+
+    def matches(self, world: Mapping[str, Relation]) -> Iterator[dict[str, object]]:
+        """All satisfying variable bindings in ``world`` (backtracking join)."""
+        yield from _match(self.atoms, 0, {}, world, self.constraint)
+
+    def holds(self, world: Mapping[str, Relation]) -> bool:
+        return next(self.matches(world), None) is not None
+
+
+def _match(
+    atoms: tuple[Atom, ...],
+    index: int,
+    binding: dict[str, object],
+    world: Mapping[str, Relation],
+    constraint: BoolExpr,
+) -> Iterator[dict[str, object]]:
+    if index == len(atoms):
+        if constraint.evaluate(binding):
+            yield dict(binding)
+        return
+    atom = atoms[index]
+    relation = world[atom.relation]
+    for row in relation.rows:
+        if len(row) != len(atom.terms):
+            raise ValueError(
+                f"atom {atom.relation} arity {len(atom.terms)} vs relation "
+                f"arity {len(row)}"
+            )
+        extension: dict[str, object] = {}
+        ok = True
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, QVar):
+                bound = binding.get(term.name, extension.get(term.name))
+                if bound is None:
+                    extension[term.name] = value
+                elif bound != value:
+                    ok = False
+                    break
+            elif term != value:
+                ok = False
+                break
+        if not ok:
+            continue
+        binding.update(extension)
+        yield from _match(atoms, index + 1, binding, world, constraint)
+        for name in extension:
+            del binding[name]
+
+
+@dataclass(frozen=True)
+class ExistentialQuery:
+    """A union (disjunction) of conjunctive queries — existential calculus.
+
+    Closed under the connectives of Theorem 4.4: ∨ concatenates the
+    unions, ∧ distributes (conjunctions of CQs merge atom lists; the
+    constraints conjoin).
+    """
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery]):
+        object.__setattr__(self, "disjuncts", tuple(disjuncts))
+        if not self.disjuncts:
+            raise ValueError("an existential query needs at least one disjunct")
+
+    @staticmethod
+    def of(*atoms: Atom, constraint: BoolExpr = TRUE) -> "ExistentialQuery":
+        return ExistentialQuery((ConjunctiveQuery(atoms, constraint),))
+
+    def holds(self, world: Mapping[str, Relation]) -> bool:
+        return any(d.holds(world) for d in self.disjuncts)
+
+    def or_(self, other: "ExistentialQuery") -> "ExistentialQuery":
+        return ExistentialQuery(self.disjuncts + other.disjuncts)
+
+    def and_(self, other: "ExistentialQuery") -> "ExistentialQuery":
+        merged = []
+        for d1 in self.disjuncts:
+            for d2 in other.disjuncts:
+                overlap = d1.variables & d2.variables
+                if overlap:
+                    raise ValueError(
+                        f"conjunction of CQs sharing variables {sorted(overlap)}; "
+                        f"rename variables apart first"
+                    )
+                constraint: BoolExpr
+                if d1.constraint is TRUE:
+                    constraint = d2.constraint
+                elif d2.constraint is TRUE:
+                    constraint = d1.constraint
+                else:
+                    constraint = d1.constraint & d2.constraint
+                merged.append(ConjunctiveQuery(d1.atoms + d2.atoms, constraint))
+        return ExistentialQuery(merged)
+
+
+def rename_variables(query: ExistentialQuery, suffix: str) -> ExistentialQuery:
+    """Rename every variable of ``query`` by appending ``@suffix``.
+
+    Used to make variable sets disjoint before conjoining queries
+    (Theorem 4.4's inclusion–exclusion conjoins several egd negations).
+    """
+    from repro.algebra.expressions import rename_attributes
+
+    def fresh(name: str) -> str:
+        return f"{name}@{suffix}"
+
+    disjuncts = []
+    for d in query.disjuncts:
+        mapping = {name: fresh(name) for name in d.variables}
+        atoms = tuple(
+            Atom(
+                a.relation,
+                [QVar(fresh(t.name)) if isinstance(t, QVar) else t for t in a.terms],
+            )
+            for a in d.atoms
+        )
+        constraint = (
+            d.constraint
+            if d.constraint is TRUE
+            else rename_attributes(d.constraint, mapping)
+        )
+        disjuncts.append(ConjunctiveQuery(atoms, constraint))
+    return ExistentialQuery(disjuncts)
+
+
+@dataclass(frozen=True)
+class Egd:
+    """A (slightly generalized) equality-generating dependency.
+
+    ∀x̄ body(x̄) ⇒ head(x̄), where ``body`` is a positive existential
+    formula (here: a union of atom conjunctions) and ``head`` a Boolean
+    combination of equalities over the variables.  The classical FD
+    "R.Ā → R.B̄" instantiates body with two R-atoms sharing Ā variables
+    and head with B̄-equalities.
+    """
+
+    body: ExistentialQuery
+    head: BoolExpr
+
+    def holds(self, world: Mapping[str, Relation]) -> bool:
+        for disjunct in self.body.disjuncts:
+            for binding in disjunct.matches(world):
+                if not self.head.evaluate(binding):
+                    return False
+        return True
+
+    def negation(self) -> ExistentialQuery:
+        """¬egd = ∃x̄ (body ∧ ¬head) — existential, as Theorem 4.4 notes."""
+        negated_head = to_nnf(~self.head)
+        disjuncts = []
+        for d in self.body.disjuncts:
+            constraint: BoolExpr
+            if d.constraint is TRUE:
+                constraint = negated_head
+            else:
+                constraint = d.constraint & negated_head
+            disjuncts.append(ConjunctiveQuery(d.atoms, constraint))
+        return ExistentialQuery(disjuncts)
+
+
+def probability(
+    formula: ExistentialQuery | Egd, pwdb: PossibleWorldsDB
+) -> Prob:
+    """Reference probability: Σ world weights where the formula holds."""
+    total: Prob = Fraction(0)
+    for world in pwdb.worlds:
+        if formula.holds(world.relations):
+            total = total + world.probability
+    return total

@@ -1,0 +1,49 @@
+"""Confidence computation (Section 4): exact #P solvers and the Karp–Luby FPRAS."""
+
+from repro.confidence.bounds import (
+    combine_independent,
+    combine_union,
+    delta_prime,
+    eps_for_rounds,
+    karp_luby_error_bound,
+    karp_luby_sample_size,
+    rounds_for,
+)
+from repro.confidence.dnf import Dnf
+from repro.confidence.exact import (
+    EnumerationLimitError,
+    exact_probability,
+    probability_by_decomposition,
+    probability_by_enumeration,
+)
+from repro.confidence.karp_luby import (
+    KarpLubyEstimate,
+    KarpLubySampler,
+    approximate_confidence,
+)
+from repro.confidence.naive_mc import (
+    NaiveEstimate,
+    naive_confidence,
+    naive_sample_size_additive,
+)
+
+__all__ = [
+    "Dnf",
+    "exact_probability",
+    "probability_by_enumeration",
+    "probability_by_decomposition",
+    "EnumerationLimitError",
+    "KarpLubySampler",
+    "KarpLubyEstimate",
+    "approximate_confidence",
+    "NaiveEstimate",
+    "naive_confidence",
+    "naive_sample_size_additive",
+    "karp_luby_error_bound",
+    "karp_luby_sample_size",
+    "delta_prime",
+    "rounds_for",
+    "eps_for_rounds",
+    "combine_union",
+    "combine_independent",
+]

@@ -1,0 +1,97 @@
+"""Disjunctions of partial functions — the objects confidence is computed on.
+
+"The confidence of tuple t for relation R represented in a U-relational
+database is the weight of F = {f | ⟨f, t⟩ ∈ U_R}" (Section 4): the
+probability that at least one of the partial functions in F is satisfied
+by the random world.  This module packages F together with the W table,
+precomputing the quantities the Karp–Luby estimator needs (the member
+weights p_f, their sum M, and the fixed member order).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from fractions import Fraction
+
+from repro.urel.conditions import Condition, Var
+from repro.urel.variables import VariableTable
+from repro.worlds.database import Prob
+
+__all__ = ["Dnf"]
+
+
+class Dnf:
+    """A disjunction F of partial functions over a variable table W.
+
+    Members keep a fixed order (the estimator's tie-breaking uses "the one
+    of the smallest index", Definition 4.1 step 3).  Duplicate members are
+    removed, preserving first occurrence.
+    """
+
+    __slots__ = ("w", "members", "weights", "_variables")
+
+    def __init__(self, conditions: Iterable[Condition], w: VariableTable):
+        self.w = w
+        seen: set[Condition] = set()
+        members: list[Condition] = []
+        for cond in conditions:
+            if cond not in seen:
+                seen.add(cond)
+                members.append(cond)
+        self.members: tuple[Condition, ...] = tuple(members)
+        self.weights: tuple[Prob, ...] = tuple(w.weight(f) for f in self.members)
+        variables: set[Var] = set()
+        for f in self.members:
+            variables |= f.variables
+        self._variables = frozenset(variables)
+
+    # ------------------------------------------------------------- metrics
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def size(self) -> int:
+        """|F| — drives the Karp–Luby sample-size bound (Section 4)."""
+        return len(self.members)
+
+    @property
+    def variables(self) -> frozenset[Var]:
+        return self._variables
+
+    @property
+    def total_weight(self) -> Prob:
+        """M = Σ_{f ∈ F} p_f (Section 4)."""
+        total: Prob = Fraction(0)
+        for p in self.weights:
+            total = total + p
+        return total
+
+    @property
+    def is_empty(self) -> bool:
+        """An empty disjunction is false everywhere: probability 0."""
+        return not self.members
+
+    @property
+    def is_trivially_true(self) -> bool:
+        """Contains the empty condition, which every world satisfies."""
+        return any(f.is_empty for f in self.members)
+
+    # ------------------------------------------------------------- semantics
+    def evaluate(self, world: Mapping[Var, object]) -> bool:
+        """Is the disjunction satisfied by total assignment ``world``?"""
+        return any(f.evaluate(world) for f in self.members)
+
+    def first_consistent_index(self, world: Mapping[Var, object]) -> int | None:
+        """Index of the smallest-index member consistent with ``world``."""
+        for i, f in enumerate(self.members):
+            if f.evaluate(world):
+                return i
+        return None
+
+    def __repr__(self) -> str:
+        return f"Dnf({len(self.members)} members over {len(self._variables)} vars)"
+
+    @staticmethod
+    def for_tuple(urelation, row: Sequence, w: VariableTable) -> "Dnf":
+        """The disjunction F for data tuple ``row`` of a U-relation."""
+        return Dnf(urelation.conditions_of(row), w)

@@ -1,0 +1,98 @@
+"""The paper's core contribution: Sections 5 (predicates on approximable
+values) and 6 (approximating expressive queries)."""
+
+from repro.core.approximator import (
+    PredicateApproximator,
+    PredicateDecision,
+    approximate_predicate,
+)
+from repro.core.approx_select import (
+    ApproxQueryEvaluator,
+    DecisionRecord,
+    UnreliableInputError,
+)
+from repro.core.driver import DriverReport, evaluate_with_guarantee
+from repro.core.error_bounds import AnnotatedRelation, proposition_66_bound
+from repro.core.intervals import Orthotope, relative_interval, singularity_interval
+from repro.core.linear import (
+    EPS_CAP,
+    NonLinearError,
+    affine_form,
+    atom_as_geq,
+    atom_epsilon,
+    clamp_epsilon,
+    epsilon_for_predicate,
+    theorem_52_epsilon,
+)
+from repro.core.naive import naive_decide
+from repro.core.readonce import (
+    ReadOnceError,
+    check_read_once,
+    corners_agree,
+    duplicate_variables,
+    epsilon_by_corners,
+    is_read_once,
+)
+from repro.core.singularity import (
+    is_singularity,
+    is_singularity_by_corners,
+    singularity_radius,
+)
+from repro.core.unreliability import (
+    UnreliableTuple,
+    example_63_modeled_probability,
+    example_63_true_probability,
+    unreliable_relation_as_uncertain,
+)
+from repro.core.values import (
+    ApproximableValue,
+    ExactValue,
+    HoeffdingMeanValue,
+    KarpLubyValue,
+    as_approximable,
+)
+
+__all__ = [
+    # Section 5
+    "relative_interval",
+    "singularity_interval",
+    "Orthotope",
+    "theorem_52_epsilon",
+    "atom_epsilon",
+    "epsilon_for_predicate",
+    "affine_form",
+    "atom_as_geq",
+    "clamp_epsilon",
+    "EPS_CAP",
+    "NonLinearError",
+    "epsilon_by_corners",
+    "corners_agree",
+    "is_read_once",
+    "check_read_once",
+    "duplicate_variables",
+    "ReadOnceError",
+    "singularity_radius",
+    "is_singularity",
+    "is_singularity_by_corners",
+    "PredicateApproximator",
+    "PredicateDecision",
+    "approximate_predicate",
+    "naive_decide",
+    "ApproximableValue",
+    "KarpLubyValue",
+    "HoeffdingMeanValue",
+    "ExactValue",
+    "as_approximable",
+    # Section 6
+    "ApproxQueryEvaluator",
+    "DecisionRecord",
+    "UnreliableInputError",
+    "AnnotatedRelation",
+    "proposition_66_bound",
+    "DriverReport",
+    "evaluate_with_guarantee",
+    "UnreliableTuple",
+    "unreliable_relation_as_uncertain",
+    "example_63_true_probability",
+    "example_63_modeled_probability",
+]

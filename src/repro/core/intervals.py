@@ -1,0 +1,120 @@
+"""Relative-error intervals and orthotopes (Lemma 5.1).
+
+An (ε, δ) approximation scheme guarantees |p − p̂| < ε·p with probability
+at least 1 − δ.  Lemma 5.1 turns that *relative* guarantee around: for
+−1 < ε < 1,
+
+    |p − p̂| < ε·p   ⇔   p̂/(1+ε) < p < p̂/(1−ε),
+
+so the true point lies, with probability ≥ 1 − Σδᵢ(ε), in the open
+axis-parallel orthotope
+
+    ( p̂₁/(1+ε), p̂₁/(1−ε) ) × … × ( p̂_k/(1+ε), p̂_k/(1−ε) ).
+
+If every point of that orthotope agrees with (p̂₁, …, p̂_k) on the
+predicate, then deciding the predicate at the approximated point errs
+with probability at most Σδᵢ(ε).
+
+This module provides the interval/orthotope geometry; the ε-maximization
+logic lives in `repro.core.linear` (Theorem 5.2) and
+`repro.core.readonce` (Theorem 5.5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from itertools import product as iter_product
+
+__all__ = ["relative_interval", "Orthotope", "singularity_interval"]
+
+
+def relative_interval(p_hat: float, eps: float) -> tuple[float, float]:
+    """The interval ( p̂/(1+ε), p̂/(1−ε) ) of Lemma 5.1.
+
+    Requires 0 ≤ ε < 1.  For p̂ = 0 the interval degenerates to the point
+    0 (a relative guarantee pins zero exactly).
+    """
+    if not 0 <= eps < 1:
+        raise ValueError(f"eps must be in [0, 1), got {eps}")
+    if p_hat == 0:
+        return (0.0, 0.0)
+    lo, hi = p_hat / (1 + eps), p_hat / (1 - eps)
+    return (lo, hi) if lo <= hi else (hi, lo)
+
+
+def singularity_interval(p: float, eps: float) -> tuple[float, float]:
+    """The closed box side [p·(1−ε), p·(1+ε)] of Definition 5.6.
+
+    Note the asymmetry with :func:`relative_interval`: an ε₀-singularity
+    is defined through |pᵢ − xᵢ| ≤ ε₀·pᵢ around the *true* point, which
+    is the multiplicative box, not the inverted one.
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    lo, hi = p * (1 - eps), p * (1 + eps)
+    return (lo, hi) if lo <= hi else (hi, lo)
+
+
+@dataclass(frozen=True)
+class Orthotope:
+    """The Lemma 5.1 orthotope around an approximated point.
+
+    ``center`` maps variable names to their approximated values p̂ᵢ;
+    ``eps`` is the shared relative radius.  Exact attributes (database
+    constants in a selection predicate) can be passed to predicates as
+    additional fixed values — "exact attribute values from the database
+    can be viewed as constants for the purpose of the previous lemma".
+    """
+
+    center: Mapping[str, float]
+    eps: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "center", dict(self.center))
+        if not 0 <= self.eps < 1:
+            raise ValueError(f"eps must be in [0, 1), got {self.eps}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.center))
+
+    def interval(self, name: str) -> tuple[float, float]:
+        return relative_interval(self.center[name], self.eps)
+
+    def corners(self) -> Iterator[dict[str, float]]:
+        """All 2^k corner points (degenerate axes contribute one value).
+
+        Theorem 5.5 checks exactly these: for read-once predicates,
+        corner agreement implies agreement on the whole orthotope.
+        """
+        names = self.names
+        axes: list[tuple[float, ...]] = []
+        for name in names:
+            lo, hi = self.interval(name)
+            axes.append((lo,) if lo == hi else (lo, hi))
+        for values in iter_product(*axes):
+            yield dict(zip(names, values))
+
+    def contains(self, point: Mapping[str, float], closed: bool = False) -> bool:
+        """Membership test (open by default, as in Lemma 5.1)."""
+        for name in self.names:
+            lo, hi = self.interval(name)
+            x = point[name]
+            if lo == hi:
+                if x != lo:
+                    return False
+            elif closed:
+                if not lo <= x <= hi:
+                    return False
+            elif not lo < x < hi:
+                return False
+        return True
+
+    def sample(self, rng, closed: bool = True) -> dict[str, float]:
+        """A uniform random point of the orthotope (for randomized tests)."""
+        point = {}
+        for name in self.names:
+            lo, hi = self.interval(name)
+            point[name] = lo if lo == hi else rng.uniform(lo, hi)
+        return point

@@ -1,0 +1,57 @@
+"""The naive fixed-budget predicate decision procedure (Section 5).
+
+"A naive procedure is to compute each p̂ᵢ using m = 3|F|·log(2/δ)/ε²"
+with ε = ε₀, then check whether ε_ψ(p̂₁,…,p̂_k) ≥ ε₀ for ψ the satisfied
+orientation of φ.  This spends the entire ε₀ sampling budget before
+looking at the data even once; the Figure 3 algorithm exploits that "if
+ε_ψ(p₁,…,p_k) > ε₀ we can decide φ with sufficiently low error even
+earlier", improving "by close to a factor of (ε_φ² − ε₀²)/ε_φ²".
+
+This module exists as the paper's own baseline for benchmark E12
+(naive vs adaptive).  To make the overall error comparable with the
+adaptive algorithm's Σδᵢ ≤ δ, the per-value budget here uses δ/k.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from repro.algebra.expressions import BoolExpr
+from repro.confidence.bounds import karp_luby_sample_size
+from repro.confidence.dnf import Dnf
+from repro.core.approximator import PredicateApproximator, PredicateDecision
+
+__all__ = ["naive_decide"]
+
+
+def naive_decide(
+    predicate: BoolExpr,
+    dnfs: Mapping[str, Dnf],
+    eps0: float,
+    delta: float,
+    rng: random.Random | int | None = None,
+    constants: Mapping[str, object] | None = None,
+    epsilon_method: str = "auto",
+) -> PredicateDecision:
+    """Decide φ with the naive fixed (ε₀, δ) budget.
+
+    Each stochastic value i receives mᵢ = ⌈3·|Fᵢ|·ln(2k/δ)/ε₀²⌉ Karp–Luby
+    trials up front (equivalently l = ⌈3·ln(2k/δ)/ε₀²⌉ rounds of |Fᵢ|
+    each); then the decision and its ε_ψ are computed once.  The returned
+    :class:`~repro.core.approximator.PredicateDecision` is directly
+    comparable with the adaptive algorithm's (same fields, same error
+    semantics); ``suspected_singularity`` is the naive procedure's
+    "could not decide" outcome.
+    """
+    approximator = PredicateApproximator(
+        predicate, dnfs, eps0, rng, constants, epsilon_method
+    )
+    stochastic = [n for n, s in approximator.samplers.items() if not s.is_exact]
+    if not stochastic:
+        return approximator.run_rounds(1)
+    per_value_delta = delta / len(stochastic)
+    # mᵢ = 3|Fᵢ|·ln(2/δ')/ε₀² trials ⇔ l = ⌈3·ln(2/δ')/ε₀²⌉ rounds of |Fᵢ|
+    # each; the round count is the |F|=1 sample size.
+    sample_rounds = max(1, karp_luby_sample_size(eps0, per_value_delta, 1))
+    return approximator.run_rounds(sample_rounds)

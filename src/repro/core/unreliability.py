@@ -1,0 +1,119 @@
+"""Uncertain, unreliable databases (Definition 6.2) and Example 6.3.
+
+An uncertain, unreliable database is a probabilistic database of the
+form F ⊗ G (Eq. 1): F is the *uncertain* component (genuine possible
+worlds), G the *unreliable* component (worlds induced by possibly-wrong
+approximate selections).  Approximate selection is an
+unreliability-to-uncertainty transformation: starting from a complete
+relation, each tuple is independently in the result with probability
+≥ 1 − δ if σ̂ selected it, and out with probability ≥ 1 − δ otherwise.
+
+Example 6.3 warns that these are *bounds*, not probabilities: modeling
+"error bound δ" as "error probability exactly δ" yields wrong
+confidences.  With two tuples, true error probabilities e (< δ) for the
+dropped t₁ and δ for the selected t₂,
+
+    Pr[σ_φ(R) ≠ ∅]      = 1 − δ + e·δ          (the truth)
+    conf(π_∅(R′))        = 1 − δ + δ²           (the naive model)
+
+and 1 − δ + δ² > 1 − δ + e·δ, "which is too great and will lead to a too
+small error bound".  The helpers below construct both sides so the gap
+can be measured (benchmark E13).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.urel.conditions import Condition
+from repro.urel.udatabase import UDatabase
+from repro.urel.urelation import URelation
+from repro.urel.variables import VariableTable
+from repro.worlds.database import Prob
+
+__all__ = [
+    "UnreliableTuple",
+    "unreliable_relation_as_uncertain",
+    "example_63_true_probability",
+    "example_63_modeled_probability",
+]
+
+
+@dataclass(frozen=True)
+class UnreliableTuple:
+    """One tuple of an unreliable complete relation.
+
+    ``selected``: whether σ̂ put it in the result; ``error_probability``:
+    the *true* probability that this membership is wrong (≤ the reported
+    bound δ, but not equal to it in general — the crux of Example 6.3).
+    """
+
+    values: tuple
+    selected: bool
+    error_probability: float
+
+    @property
+    def presence_probability(self) -> float:
+        """Probability the tuple is truly in the ideal result."""
+        if self.selected:
+            return 1.0 - self.error_probability
+        return self.error_probability
+
+
+def unreliable_relation_as_uncertain(
+    name: str,
+    columns: Sequence[str],
+    tuples: Iterable[UnreliableTuple],
+    var_prefix: str = "u",
+) -> UDatabase:
+    """Materialize an unreliable relation as a tuple-independent UDatabase.
+
+    This is the Definition 6.2 transformation with *known* per-tuple error
+    probabilities: tuple i is present with its ``presence_probability``,
+    independently of the others.  Tuples with presence probability 1 get
+    the empty condition; probability-0 tuples are omitted.
+    """
+    w = VariableTable()
+    rows: set = set()
+    for i, t in enumerate(sorted(tuples, key=lambda x: repr(x.values))):
+        p = t.presence_probability
+        if p <= 0.0:
+            continue
+        if p >= 1.0:
+            rows.add((Condition(), tuple(t.values)))
+            continue
+        var = (var_prefix, name, i)
+        w.add(var, {1: p, 0: 1.0 - p})
+        rows.add((Condition({var: 1}), tuple(t.values)))
+    urel = URelation(tuple(columns), frozenset(rows))
+    return UDatabase({name: urel}, w, set())
+
+
+def example_63_true_probability(delta: float, e: float) -> float:
+    """Pr[σ_φ(R) ≠ ∅] = 1 − δ + e·δ for Example 6.3's two-tuple relation.
+
+    t₁ was dropped but is wrongly absent with probability ``e``; t₂ was
+    selected and is wrongly present with probability ``delta``.  The
+    result is non-empty unless t₁ is (correctly) absent and t₂ is
+    (wrongly) absent: 1 − (1 − e)·δ.
+    """
+    _check_probs(delta, e)
+    return 1.0 - delta + e * delta
+
+
+def example_63_modeled_probability(delta: float) -> float:
+    """conf(π_∅(R′)) = 1 − δ + δ² when bounds are (wrongly) read as probabilities.
+
+    R′ contains t₁ with probability δ and t₂ with probability 1 − δ;
+    Pr[R′ ≠ ∅] = 1 − (1 − δ)·δ.
+    """
+    _check_probs(delta, 0.0)
+    return 1.0 - delta + delta * delta
+
+
+def _check_probs(delta: float, e: float) -> None:
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must be a probability, got {delta}")
+    if not 0.0 <= e <= 1.0:
+        raise ValueError(f"e must be a probability, got {e}")

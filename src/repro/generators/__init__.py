@@ -1,0 +1,59 @@
+"""Synthetic workload generators: the paper's scenarios and hard instances."""
+
+from repro.generators.cleaning import (
+    DirtyDataset,
+    city_confidence_query,
+    clean_worlds_query,
+    confident_city_selection,
+    dirty_person_records,
+)
+from repro.generators.coins import (
+    CoinSpec,
+    coin_database,
+    coin_worlds_database,
+    evidence_query,
+    paper_coins,
+    pick_coin_query,
+    posterior_query,
+    toss_query,
+)
+from repro.generators.hard import bipartite_2dnf, bipartite_2dnf_database, chain_dnf
+from repro.generators.sensors import (
+    SensorDataset,
+    alarm_confidence_query,
+    hot_sensor_selection,
+    sensor_readings,
+    true_levels_query,
+)
+from repro.generators.tpdb import (
+    add_tuple_independent,
+    random_tuple_independent,
+    tuple_independent,
+)
+
+__all__ = [
+    "tuple_independent",
+    "add_tuple_independent",
+    "random_tuple_independent",
+    "CoinSpec",
+    "paper_coins",
+    "coin_database",
+    "coin_worlds_database",
+    "pick_coin_query",
+    "toss_query",
+    "evidence_query",
+    "posterior_query",
+    "DirtyDataset",
+    "dirty_person_records",
+    "clean_worlds_query",
+    "city_confidence_query",
+    "confident_city_selection",
+    "SensorDataset",
+    "sensor_readings",
+    "true_levels_query",
+    "alarm_confidence_query",
+    "hot_sensor_selection",
+    "bipartite_2dnf",
+    "bipartite_2dnf_database",
+    "chain_dnf",
+]

@@ -1,0 +1,93 @@
+"""A data-cleaning workload (the paper's motivating use case).
+
+Dirty person records: one person (keyed by ``PID``) may have several
+conflicting tuples from different sources, each with a trust weight.
+``repair-key_{PID@Weight}`` turns the dirty relation into a probabilistic
+database of clean worlds — exactly the paper's reading of repair-key
+("apart from its usefulness for the purpose implicit in its name").
+Selections on (conditional) confidences then implement cleaning policies
+such as "keep a person's city only if its confidence given the evidence
+exceeds τ", which is an approximate-selection σ̂ workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algebra.builder import Q, rel
+from repro.algebra.expressions import col, lit
+from repro.algebra.relations import Relation
+from repro.urel.udatabase import UDatabase
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "DirtyDataset",
+    "dirty_person_records",
+    "clean_worlds_query",
+    "city_confidence_query",
+    "confident_city_selection",
+]
+
+_CITIES = ("amsterdam", "berlin", "cordoba", "dresden", "eugene", "florence")
+_NAMES = ("ada", "boris", "chen", "dara", "emil", "farah", "goro", "hana")
+
+
+@dataclass(frozen=True)
+class DirtyDataset:
+    """A dirty complete relation plus its generation parameters."""
+
+    relation: Relation
+    n_people: int
+    max_versions: int
+
+    def database(self) -> UDatabase:
+        return UDatabase.from_complete({"Dirty": self.relation})
+
+
+def dirty_person_records(
+    n_people: int,
+    max_versions: int = 3,
+    rng: random.Random | int | None = None,
+) -> DirtyDataset:
+    """Generate ``Dirty(PID, Name, City, Weight)`` with key violations.
+
+    Every person has 1..max_versions candidate tuples; weights are
+    integer trust scores in 1..5, so repair probabilities stay exact
+    rationals under Fraction arithmetic.
+    """
+    generator = ensure_rng(rng)
+    rows = []
+    for pid in range(n_people):
+        name = _NAMES[pid % len(_NAMES)] + str(pid)
+        n_versions = generator.randint(1, max_versions)
+        cities = generator.sample(_CITIES, k=min(n_versions, len(_CITIES)))
+        for city in cities:
+            rows.append((pid, name, city, generator.randint(1, 5)))
+    relation = Relation.from_rows(("PID", "Name", "City", "Weight"), rows)
+    return DirtyDataset(relation, n_people, max_versions)
+
+
+def clean_worlds_query() -> Q:
+    """Clean := π(repair-key_{PID@Weight}(Dirty)) — one version per person."""
+    return (
+        rel("Dirty")
+        .repair_key(["PID"], weight="Weight")
+        .project(["PID", "Name", "City"])
+    )
+
+
+def city_confidence_query(p_name: str = "P") -> Q:
+    """conf(π_{PID,City}(Clean)) — per-person city confidences."""
+    return rel("Clean").project(["PID", "City"]).conf(p_name)
+
+
+def confident_city_selection(threshold: float) -> Q:
+    """σ̂_{conf[PID,City] ≥ τ}(Clean): keep only confident city assignments.
+
+    The approximate-selection workload: each (PID, City) candidate is kept
+    iff its confidence exceeds the policy threshold τ.
+    """
+    return rel("Clean").approx_select(
+        col("P1") >= lit(threshold), groups=[["PID", "City"]]
+    )

@@ -1,0 +1,128 @@
+"""The paper's coin-tossing scenario (Examples 2.2, 3.2; Figure 1).
+
+A bag holds coins of known composition; one coin is drawn (repair-key on
+the counts) and tossed several times (repair-key on the face
+probabilities); conditional probabilities of the coin type given the
+observed evidence are computed with conf-joins.  This is the paper's
+running example and the source of experiments E1/E2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.algebra.builder import Q, literal, rel
+from repro.algebra.expressions import col
+from repro.algebra.relations import Relation
+from repro.urel.udatabase import UDatabase
+from repro.worlds.database import PossibleWorldsDB
+
+__all__ = [
+    "CoinSpec",
+    "paper_coins",
+    "coin_database",
+    "coin_worlds_database",
+    "pick_coin_query",
+    "toss_query",
+    "evidence_query",
+    "posterior_query",
+]
+
+
+@dataclass(frozen=True)
+class CoinSpec:
+    """The bag's composition and each coin type's face distribution."""
+
+    counts: Mapping[str, int]
+    faces: Mapping[str, Mapping[str, Fraction]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "counts", dict(self.counts))
+        object.__setattr__(self, "faces", {k: dict(v) for k, v in self.faces.items()})
+        for coin, dist in self.faces.items():
+            total = sum(dist.values())
+            if total != 1:
+                raise ValueError(f"face probabilities of {coin!r} sum to {total}")
+        missing = set(self.counts) - set(self.faces)
+        if missing:
+            raise ValueError(f"coin types without face distributions: {sorted(missing)}")
+
+
+def paper_coins() -> CoinSpec:
+    """Two fair coins and one double-headed coin — Example 2.2 verbatim."""
+    half = Fraction(1, 2)
+    return CoinSpec(
+        counts={"fair": 2, "2headed": 1},
+        faces={"fair": {"H": half, "T": half}, "2headed": {"H": Fraction(1)}},
+    )
+
+
+def _complete_relations(spec: CoinSpec) -> dict[str, Relation]:
+    coins = Relation.from_rows(
+        ("CoinType", "Count"), [(c, n) for c, n in spec.counts.items()]
+    )
+    faces = Relation.from_rows(
+        ("CoinType", "Face", "FProb"),
+        [(c, f, p) for c, dist in spec.faces.items() for f, p in dist.items()],
+    )
+    return {"Coins": coins, "Faces": faces}
+
+
+def coin_database(spec: CoinSpec | None = None) -> UDatabase:
+    """The initial complete database as a U-relational database."""
+    return UDatabase.from_complete(_complete_relations(spec or paper_coins()))
+
+
+def coin_worlds_database(spec: CoinSpec | None = None) -> PossibleWorldsDB:
+    """The same database for the possible-worlds engine."""
+    return PossibleWorldsDB.certain(_complete_relations(spec or paper_coins()))
+
+
+def pick_coin_query() -> Q:
+    """R := π_CoinType(repair-key_∅@Count(Coins)) — draw one coin."""
+    return rel("Coins").repair_key([], weight="Count").project(["CoinType"])
+
+
+def toss_query(n_tosses: int = 2) -> Q:
+    """S := π(repair-key_{CoinType,Toss@FProb}(Faces × ρ_Toss({1..n}))).
+
+    Models ``n_tosses`` independent tosses of the chosen coin.
+    """
+    tosses = literal(["Toss"], [[i] for i in range(1, n_tosses + 1)])
+    return (
+        rel("Faces")
+        .product(tosses)
+        .repair_key(["CoinType", "Toss"], weight="FProb")
+        .project(["CoinType", "Toss", "Face"])
+    )
+
+
+def evidence_query(observed: Sequence[str]) -> Q:
+    """T := R ⋈ π_CoinType(σ_{Toss=i ∧ Face=fᵢ}(S)) ⋈ … — condition on tosses.
+
+    ``observed`` lists the observed faces per toss, e.g. ``["H", "H"]``
+    for the paper's double-heads evidence.
+    """
+    plan = rel("R")
+    for i, face in enumerate(observed, start=1):
+        match = (
+            rel("S")
+            .select((col("Toss").eq(i)) & (col("Face").eq(face)))
+            .project(["CoinType"])
+        )
+        plan = plan.join(match)
+    return plan
+
+
+def posterior_query() -> Q:
+    """U := π_{CoinType, P1/P2 → P}(ρ_{P→P1}(conf(T)) ⋈ ρ_{P→P2}(conf(π_∅(T)))).
+
+    The conditional probability Pr[CoinType | evidence] of Example 2.2.
+    """
+    joint = rel("T").conf("P1")
+    evidence = rel("T").project([]).conf("P2")
+    return joint.join(evidence).project(
+        ["CoinType", (col("P1") / col("P2"), "P")]
+    )

@@ -1,0 +1,100 @@
+"""A sensor-data workload (the paper's other motivating use case).
+
+Each sensor reports, per epoch, a discretized reading level with a
+confidence distribution (sensor noise).  ``repair-key_{Sensor,Epoch@W}``
+selects one true level per (sensor, epoch); conditional-probability
+queries then ask e.g. "the probability that a sensor is HOT given that
+its neighbour is HOT", and approximate selections flag sensors whose
+alarm probability crosses a threshold — the σ̂ use case on streaming-ish
+data that the introduction motivates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algebra.builder import Q, rel
+from repro.algebra.expressions import col, lit
+from repro.algebra.relations import Relation
+from repro.urel.udatabase import UDatabase
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "SensorDataset",
+    "sensor_readings",
+    "true_levels_query",
+    "alarm_confidence_query",
+    "hot_sensor_selection",
+]
+
+LEVELS = ("low", "mid", "high")
+
+
+@dataclass(frozen=True)
+class SensorDataset:
+    """Raw readings relation plus generation parameters."""
+
+    relation: Relation
+    n_sensors: int
+    n_epochs: int
+
+    def database(self) -> UDatabase:
+        return UDatabase.from_complete({"Readings": self.relation})
+
+
+def sensor_readings(
+    n_sensors: int,
+    n_epochs: int,
+    rng: random.Random | int | None = None,
+    hot_bias: float = 0.3,
+) -> SensorDataset:
+    """Generate ``Readings(Sensor, Epoch, Level, W)``.
+
+    For each (sensor, epoch) the three candidate levels carry integer
+    weights drawn so that with probability ``hot_bias`` the mass leans
+    towards "high" (a hot sensor) and otherwise towards "low".
+    """
+    generator = ensure_rng(rng)
+    rows = []
+    for sensor in range(n_sensors):
+        for epoch in range(n_epochs):
+            hot = generator.random() < hot_bias
+            base = (1, 2, 6) if hot else (6, 2, 1)
+            for level, weight in zip(LEVELS, base):
+                jitter = generator.randint(0, 2)
+                rows.append((f"s{sensor}", epoch, level, weight + jitter))
+    relation = Relation.from_rows(("Sensor", "Epoch", "Level", "W"), rows)
+    return SensorDataset(relation, n_sensors, n_epochs)
+
+
+def true_levels_query() -> Q:
+    """State := π(repair-key_{Sensor,Epoch@W}(Readings)) — true level worlds."""
+    return (
+        rel("Readings")
+        .repair_key(["Sensor", "Epoch"], weight="W")
+        .project(["Sensor", "Epoch", "Level"])
+    )
+
+
+def alarm_confidence_query(p_name: str = "P") -> Q:
+    """conf(π_Sensor(σ_{Level=high}(State))): per-sensor alarm probability.
+
+    A sensor alarms if it reads "high" in at least one epoch; the query
+    returns Pr[alarm] per sensor.
+    """
+    return (
+        rel("State")
+        .select(col("Level").eq("high"))
+        .project(["Sensor"])
+        .conf(p_name)
+    )
+
+
+def hot_sensor_selection(threshold: float) -> Q:
+    """σ̂_{conf[Sensor] ≥ τ}(σ_{Level=high}(State)): flag hot sensors."""
+    return (
+        rel("State")
+        .select(col("Level").eq("high"))
+        .approx_select(col("P1") >= lit(threshold), groups=[["Sensor"]])
+    )

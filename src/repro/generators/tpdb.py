@@ -1,0 +1,94 @@
+"""Tuple-independent probabilistic databases.
+
+The tuple-independence model — every tuple present independently with
+its own probability — is the workhorse of the probabilistic-database
+literature ([7], the query-reliability work [10, 9]) and the model under
+which confidence computation is #P-complete.  As a U-relational
+database, each tuple gets one fresh Boolean variable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.urel.conditions import TOP, Condition
+from repro.urel.udatabase import UDatabase
+from repro.urel.urelation import URelation
+from repro.urel.variables import VariableTable
+from repro.util.rng import ensure_rng
+from repro.worlds.database import Prob
+
+__all__ = ["tuple_independent", "random_tuple_independent", "add_tuple_independent"]
+
+
+def add_tuple_independent(
+    db: UDatabase,
+    name: str,
+    columns: Sequence[str],
+    rows: Iterable[tuple[Sequence, Prob]],
+    var_prefix: str | None = None,
+) -> UDatabase:
+    """Add a tuple-independent relation to an existing UDatabase.
+
+    ``rows`` yields (values, probability) pairs.  Probability 1 tuples
+    get the empty condition; probability 0 tuples are dropped; all
+    others get a fresh Boolean variable ``(prefix, i) ↦ {1: p, 0: 1−p}``.
+    """
+    prefix = var_prefix if var_prefix is not None else f"ti:{name}"
+    urows: set = set()
+    for i, (values, p) in enumerate(rows):
+        if p == 0:
+            continue
+        if p == 1:
+            urows.add((TOP, tuple(values)))
+            continue
+        if not 0 < p < 1:
+            raise ValueError(f"tuple probability must be in [0,1], got {p!r}")
+        var = (prefix, i)
+        db.w.add(var, {1: p, 0: 1 - p})
+        urows.add((Condition({var: 1}), tuple(values)))
+    db.set_relation(name, URelation(tuple(columns), frozenset(urows)))
+    return db
+
+
+def tuple_independent(
+    name: str,
+    columns: Sequence[str],
+    rows: Iterable[tuple[Sequence, Prob]],
+) -> UDatabase:
+    """A fresh UDatabase holding one tuple-independent relation."""
+    db = UDatabase({}, VariableTable(), set())
+    return add_tuple_independent(db, name, columns, rows)
+
+
+def random_tuple_independent(
+    name: str,
+    n_tuples: int,
+    rng: random.Random | int | None = None,
+    columns: Sequence[str] = ("A", "B"),
+    domain_size: int = 8,
+    prob_range: tuple[float, float] = (0.1, 0.9),
+) -> UDatabase:
+    """A random tuple-independent relation for tests and benchmarks.
+
+    Tuples draw attribute values uniformly from ``a0..a{domain_size-1}``
+    (duplicates collapse — the generator retries to reach ``n_tuples``
+    distinct tuples when possible) and probabilities uniformly from
+    ``prob_range``.
+    """
+    generator = ensure_rng(rng)
+    lo, hi = prob_range
+    seen: set[tuple] = set()
+    rows: list[tuple[tuple, float]] = []
+    attempts = 0
+    while len(rows) < n_tuples and attempts < 50 * n_tuples:
+        attempts += 1
+        values = tuple(
+            f"a{generator.randrange(domain_size)}" for _ in columns
+        )
+        if values in seen:
+            continue
+        seen.add(values)
+        rows.append((values, generator.uniform(lo, hi)))
+    return tuple_independent(name, columns, rows)

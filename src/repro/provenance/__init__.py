@@ -1,0 +1,9 @@
+"""Data provenance ≺ (Section 6) for positive UA[σ̂] queries."""
+
+from repro.provenance.trails import (
+    ProvenanceResult,
+    SourceTuple,
+    evaluate_with_provenance,
+)
+
+__all__ = ["ProvenanceResult", "SourceTuple", "evaluate_with_provenance"]

@@ -1,0 +1,34 @@
+"""U-relational databases: the succinct, complete representation system (Section 3)."""
+
+from repro.urel.conditions import TOP, Condition
+from repro.urel.enumerate import WorldLimitError, enumerate_worlds, from_possible_worlds
+from repro.urel.evaluate import UEvaluator, UResult, USession, evaluate
+from repro.urel.translate import (
+    approx_confidence_relation,
+    exact_confidence_relation,
+    translate_repair_key,
+    tuple_confidence,
+)
+from repro.urel.udatabase import UDatabase
+from repro.urel.urelation import URelation
+from repro.urel.variables import VariableError, VariableTable
+
+__all__ = [
+    "Condition",
+    "TOP",
+    "VariableTable",
+    "VariableError",
+    "URelation",
+    "UDatabase",
+    "UEvaluator",
+    "USession",
+    "UResult",
+    "evaluate",
+    "enumerate_worlds",
+    "from_possible_worlds",
+    "WorldLimitError",
+    "translate_repair_key",
+    "exact_confidence_relation",
+    "approx_confidence_relation",
+    "tuple_confidence",
+]

@@ -1,0 +1,143 @@
+"""Conditions: partial functions from random variables to domain values.
+
+In a U-relational database (Section 3) every tuple carries a ``D`` value —
+a partial function ``f : Var → Dom`` represented "as finite sets of pairs
+of a random variable and a domain value".  A partial function stands for
+the set of possible worlds ``ω(f)``: all total assignments consistent
+with it.
+
+Two partial functions are *consistent* if they agree on the variables on
+which both are defined; a tuple is in world ``f*`` iff some ``⟨f, t⟩`` in
+the U-relation has ``f`` consistent with ``f*``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Optional, Union
+
+__all__ = ["Condition", "TOP", "Var", "DomValue"]
+
+Var = Hashable
+DomValue = Hashable
+
+
+class Condition:
+    """An immutable partial function ``Var → Dom``.
+
+    Hashable and comparable by extension (the set of pairs), so conditions
+    can live in sets — U-relations are sets of ``(condition, tuple)`` pairs.
+    """
+
+    __slots__ = ("_map", "_hash")
+
+    def __init__(
+        self,
+        assignment: Union[Mapping[Var, DomValue], Iterable[tuple[Var, DomValue]], None] = None,
+    ):
+        if assignment is None:
+            mapping: dict[Var, DomValue] = {}
+        elif isinstance(assignment, Mapping):
+            mapping = dict(assignment)
+        else:
+            mapping = {}
+            for var, value in assignment:
+                if var in mapping and mapping[var] != value:
+                    raise ValueError(
+                        f"condition assigns variable {var!r} two values "
+                        f"({mapping[var]!r} and {value!r})"
+                    )
+                mapping[var] = value
+        self._map = mapping
+        self._hash = hash(frozenset(mapping.items()))
+
+    # ------------------------------------------------------------- protocol
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return self._map == other._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __bool__(self) -> bool:
+        return bool(self._map)
+
+    def __contains__(self, var: Var) -> bool:
+        return var in self._map
+
+    def __getitem__(self, var: Var) -> DomValue:
+        return self._map[var]
+
+    def get(self, var: Var, default: Optional[DomValue] = None) -> Optional[DomValue]:
+        return self._map.get(var, default)
+
+    def items(self) -> Iterable[tuple[Var, DomValue]]:
+        return self._map.items()
+
+    @property
+    def variables(self) -> frozenset[Var]:
+        return frozenset(self._map)
+
+    @property
+    def is_empty(self) -> bool:
+        """Empty conditions denote certain tuples (complete relations)."""
+        return not self._map
+
+    # ------------------------------------------------------------ operations
+    def consistent_with(self, other: "Condition") -> bool:
+        """True iff the two partial functions agree where both are defined."""
+        small, large = (self._map, other._map) if len(self._map) <= len(other._map) else (
+            other._map,
+            self._map,
+        )
+        for var, value in small.items():
+            if var in large and large[var] != value:
+                return False
+        return True
+
+    def union(self, other: "Condition") -> Optional["Condition"]:
+        """Merge two conditions; ``None`` if they are inconsistent.
+
+        The union represents the intersection of the world sets; it is what
+        the product/join translation of Section 3 computes for ``D`` values.
+        """
+        if not self.consistent_with(other):
+            return None
+        merged = dict(self._map)
+        merged.update(other._map)
+        return Condition(merged)
+
+    def restricted_to(self, variables: Iterable[Var]) -> "Condition":
+        keep = set(variables)
+        return Condition({v: x for v, x in self._map.items() if v in keep})
+
+    def assign(self, var: Var, value: DomValue) -> Optional["Condition"]:
+        """Extend by one pair; ``None`` if it contradicts an existing pair."""
+        if var in self._map:
+            return self if self._map[var] == value else None
+        merged = dict(self._map)
+        merged[var] = value
+        return Condition(merged)
+
+    def evaluate(self, world: Mapping[Var, DomValue]) -> bool:
+        """Is this condition satisfied by total assignment ``world``?"""
+        for var, value in self._map.items():
+            if world.get(var) != value:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        if not self._map:
+            return "⊤"
+        inner = ", ".join(
+            f"{var!r}↦{value!r}" for var, value in sorted(self._map.items(), key=repr)
+        )
+        return "{" + inner + "}"
+
+
+TOP = Condition()
+"""The empty condition: true in every world."""

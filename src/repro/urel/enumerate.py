@@ -1,0 +1,92 @@
+"""World enumeration and the Theorem 3.1 completeness construction.
+
+``enumerate_worlds`` unfolds a U-relational database into the explicit
+possible-worlds database it represents — worlds are "uniquely
+identifiable by complete functions f* : Var → Dom" (Section 3) — and is
+the bridge for differential testing between the two engines.
+
+``from_possible_worlds`` is the constructive direction of Theorem 3.1
+([1]): any finite set of weighted possible worlds is representable as a
+U-relational database, here via a single world-selector variable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+
+from repro.urel.conditions import TOP, Condition
+from repro.urel.udatabase import UDatabase
+from repro.urel.urelation import URelation
+from repro.urel.variables import VariableTable
+from repro.worlds.database import PossibleWorldsDB, Prob, World
+
+__all__ = ["enumerate_worlds", "from_possible_worlds", "WorldLimitError"]
+
+
+class WorldLimitError(RuntimeError):
+    """Raised when enumeration would produce too many worlds."""
+
+
+def enumerate_worlds(
+    db: UDatabase, max_worlds: int = 1_000_000
+) -> PossibleWorldsDB:
+    """Unfold ``db`` into its explicit possible-worlds database.
+
+    Every total assignment f* over the W table's variables is one world
+    with weight Π Pr[X = f*(X)]; relation instances keep the tuples whose
+    conditions are consistent with f*.
+    """
+    variables = sorted(db.w.variables, key=repr)
+    n_worlds = 1
+    for var in variables:
+        n_worlds *= len(db.w.domain(var))
+        if n_worlds > max_worlds:
+            raise WorldLimitError(
+                f"U-relational database unfolds to {n_worlds}+ worlds "
+                f"(limit {max_worlds})"
+            )
+    domains = [db.w.domain(var) for var in variables]
+    worlds = []
+    for values in iter_product(*domains) if variables else [()]:
+        assignment = dict(zip(variables, values))
+        weight: Prob = Fraction(1)
+        for var, value in assignment.items():
+            weight = weight * db.w.prob(var, value)
+        relations = {
+            name: urel.in_world(assignment) for name, urel in db.relations.items()
+        }
+        worlds.append(World(relations, weight))
+    return PossibleWorldsDB(tuple(worlds), frozenset(db.complete))
+
+
+def from_possible_worlds(
+    pwdb: PossibleWorldsDB, selector_name: str = "world"
+) -> UDatabase:
+    """Represent an explicit possible-worlds database as a U-relational one.
+
+    Theorem 3.1 construction: one random variable whose domain indexes the
+    worlds (with the world probabilities); the tuples of world i carry the
+    condition ``selector ↦ i``.  Relations marked complete get the empty
+    condition (they agree across worlds by definition).
+    """
+    w = VariableTable()
+    if len(pwdb.worlds) > 1:
+        w.add(
+            selector_name,
+            {i: world.probability for i, world in enumerate(pwdb.worlds)},
+        )
+    relations: dict[str, URelation] = {}
+    for name in sorted(pwdb.relation_names):
+        columns = pwdb.schema_of(name)
+        rows: set = set()
+        if name in pwdb.complete or len(pwdb.worlds) == 1:
+            for t in pwdb.worlds[0].relation(name).rows:
+                rows.add((TOP, t))
+        else:
+            for i, world in enumerate(pwdb.worlds):
+                condition = Condition({selector_name: i})
+                for t in world.relation(name).rows:
+                    rows.add((condition, t))
+        relations[name] = URelation(columns, frozenset(rows))
+    return UDatabase(relations, w, set(pwdb.complete))

@@ -1,0 +1,249 @@
+"""UA evaluation over U-relational databases (Section 3 + Corollary 4.3).
+
+The evaluator interprets the same operator AST as the possible-worlds
+engine, but on the succinct representation:
+
+* positive relational algebra, ``poss`` and ``repair-key`` run as the
+  parsimonious translations (Proposition 3.3 — no look at W except to
+  extend it with fresh repair-key variables);
+* ``conf`` invokes an exact #P subprocedure
+  (`repro.confidence.exact`) — this is the evaluation strategy behind
+  Theorem 3.4;
+* ``conf_{ε,δ}`` invokes the Karp–Luby FPRAS (Corollary 4.3);
+* ``σ̂`` is evaluated here with *exact* confidences; the genuinely
+  approximate σ̂ with per-tuple error accounting is layered on top in
+  `repro.core.approx_select` by overriding :meth:`UEvaluator.approx_select`.
+
+Use :class:`USession` for the paper's session style (``R := query``),
+which threads one growing W table through consecutive assignments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algebra.operators import (
+    ApproxConf,
+    ApproxSelect,
+    BaseRel,
+    Cert,
+    Conf,
+    Difference,
+    Join,
+    Literal,
+    Poss,
+    Product,
+    Project,
+    Query,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.algebra.builder import Q
+from repro.algebra.expressions import Cmp, Const, Attr
+from repro.urel.translate import (
+    approx_confidence_relation,
+    exact_confidence_relation,
+    translate_repair_key,
+)
+from repro.urel.udatabase import UDatabase
+from repro.urel.urelation import URelation
+from repro.util.rng import ensure_rng
+
+__all__ = ["UEvaluator", "USession", "UResult", "evaluate"]
+
+
+@dataclass
+class UResult:
+    """Evaluation output: the result U-relation and its completeness flag."""
+
+    relation: URelation
+    complete: bool
+
+
+class UEvaluator:
+    """Recursive evaluator for UA queries on a U-relational database.
+
+    ``conf_method`` selects the exact solver ("decomposition" or
+    "enumeration"); ``rng`` seeds all approximate operators.  When
+    ``copy_db`` is true the input database (including W) is left
+    untouched and repair-key variables go into a private copy.
+    """
+
+    def __init__(
+        self,
+        db: UDatabase,
+        conf_method: str = "decomposition",
+        rng: random.Random | int | None = None,
+        copy_db: bool = True,
+    ):
+        self.db = db.copy() if copy_db else db
+        self.conf_method = conf_method
+        self.rng = ensure_rng(rng)
+        self.conf_log: list = []
+
+    # ------------------------------------------------------------------
+    def evaluate(self, query: Query) -> UResult:
+        relation, complete = self.eval(query)
+        return UResult(relation, complete)
+
+    def eval(self, query: Query) -> tuple[URelation, bool]:
+        if isinstance(query, BaseRel):
+            return self.db.relation(query.name), self.db.is_complete(query.name)
+
+        if isinstance(query, Literal):
+            return URelation.from_complete(query.relation), True
+
+        if isinstance(query, Select):
+            child, complete = self.eval(query.child)
+            return child.select(query.condition), complete
+
+        if isinstance(query, Project):
+            child, complete = self.eval(query.child)
+            return child.project(list(query.items)), complete
+
+        if isinstance(query, Rename):
+            child, complete = self.eval(query.child)
+            return child.rename(query.as_dict()), complete
+
+        if isinstance(query, Product):
+            left, lc = self.eval(query.left)
+            right, rc = self.eval(query.right)
+            return left.product(right), lc and rc
+
+        if isinstance(query, Join):
+            left, lc = self.eval(query.left)
+            right, rc = self.eval(query.right)
+            return left.natural_join(right), lc and rc
+
+        if isinstance(query, Union):
+            left, lc = self.eval(query.left)
+            right, rc = self.eval(query.right)
+            return left.union(right), lc and rc
+
+        if isinstance(query, Difference):
+            left, lc = self.eval(query.left)
+            right, rc = self.eval(query.right)
+            if not (lc and rc):
+                raise ValueError(
+                    "general difference is not in positive UA; only −_c on "
+                    "complete relations is supported by the U-relational engine"
+                )
+            return left.difference_complete(right), True
+
+        if isinstance(query, RepairKey):
+            child, complete = self.eval(query.child)
+            if not complete:
+                from repro.worlds.repair import RepairError
+
+                raise RepairError(
+                    "repair-key requires a complete relation (c(R)=1, Definition 2.1)"
+                )
+            result = translate_repair_key(
+                child, query.key, query.weight, query.op_id, self.db.w
+            )
+            return result, False
+
+        if isinstance(query, Conf):
+            child, _complete = self.eval(query.child)
+            return (
+                exact_confidence_relation(
+                    child, self.db.w, query.p_name, self.conf_method
+                ),
+                True,
+            )
+
+        if isinstance(query, ApproxConf):
+            child, _complete = self.eval(query.child)
+            relation, estimates = approx_confidence_relation(
+                child, self.db.w, query.eps, query.delta, self.rng, query.p_name
+            )
+            self.conf_log.append(estimates)
+            return relation, True
+
+        if isinstance(query, Poss):
+            child, _complete = self.eval(query.child)
+            return URelation.from_complete(child.possible_tuples()), True
+
+        if isinstance(query, Cert):
+            # cert(R) = π_sch(R)(σ_{P=1}(conf(R))).  Certainty tests are
+            # singularities (Example 5.7), so cert always uses exact conf.
+            child, _complete = self.eval(query.child)
+            conf_rel = exact_confidence_relation(
+                child, self.db.w, "__P", self.conf_method
+            )
+            ones = conf_rel.select(Cmp("=", Attr("__P"), Const(1)))
+            return ones.project(list(child.columns)), True
+
+        if isinstance(query, ApproxSelect):
+            child, complete = self.eval(query.child)
+            return self.approx_select(query, child, complete)
+
+        raise TypeError(f"unknown query node {query!r}")
+
+    # ------------------------------------------------------------------
+    def approx_select(
+        self, query: ApproxSelect, child: URelation, child_complete: bool
+    ) -> tuple[URelation, bool]:
+        """σ̂ with exact confidences (the ideal query Q of Section 6).
+
+        `repro.core` overrides this hook with the genuinely approximate
+        version Q∼ that uses the Figure 3 algorithm per candidate tuple.
+        """
+        joined = self.conf_join(query, child)
+        return joined.select(query.predicate), True
+
+    def conf_join(self, query: ApproxSelect, child: URelation) -> URelation:
+        """ρ_{P→P₁}(conf(π_{Ā₁}(R))) ⋈ … ⋈ ρ_{P→P_k}(conf(π_{Ā_k}(R)))."""
+        joined: URelation | None = None
+        for group, p_name in zip(query.groups, query.p_names):
+            projected = child.project(list(group))
+            conf_rel = exact_confidence_relation(
+                projected, self.db.w, p_name, self.conf_method
+            )
+            joined = conf_rel if joined is None else joined.natural_join(conf_rel)
+        assert joined is not None  # guaranteed: ApproxSelect validates k >= 1
+        return joined
+
+
+class USession:
+    """Session-style evaluation: consecutive assignments share one database.
+
+    Mirrors the paper's Example 2.2 (``R := …; S := …; T := …; U := …``):
+    each :meth:`assign` evaluates a query against the current database,
+    stores the result under a name, and keeps the W table growing across
+    repair-key applications.
+    """
+
+    def __init__(
+        self,
+        db: UDatabase,
+        conf_method: str = "decomposition",
+        rng: random.Random | int | None = None,
+    ):
+        self.db = db
+        self._evaluator = UEvaluator(db, conf_method, rng, copy_db=False)
+
+    def run(self, query: Query | Q) -> UResult:
+        """Evaluate a query without storing its result."""
+        node = query.q if isinstance(query, Q) else query
+        return self._evaluator.evaluate(node)
+
+    def assign(self, name: str, query: Query | Q) -> URelation:
+        """``name := query`` — evaluate and store (completeness tracked)."""
+        result = self.run(query)
+        self.db.set_relation(name, result.relation, complete=result.complete)
+        return result.relation
+
+
+def evaluate(
+    query: Query | Q,
+    db: UDatabase,
+    conf_method: str = "decomposition",
+    rng: random.Random | int | None = None,
+) -> URelation:
+    """One-shot evaluation; the input database is not modified."""
+    node = query.q if isinstance(query, Q) else query
+    return UEvaluator(db, conf_method, rng, copy_db=True).evaluate(node).relation

@@ -1,0 +1,89 @@
+"""U-relational databases: named U-relations plus the shared W table.
+
+A U-relational database ⟨U_{R₁}, …, U_{R_k}, W⟩ (Section 3) pairs one
+U-relation per represented schema with the table of independent random
+variables.  Completeness flags mirror the paper's function ``c``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.algebra.relations import Relation
+from repro.urel.urelation import URelation
+from repro.urel.variables import VariableTable
+
+__all__ = ["UDatabase"]
+
+
+class UDatabase:
+    """A set of named U-relations sharing one variable table."""
+
+    __slots__ = ("relations", "w", "complete")
+
+    def __init__(
+        self,
+        relations: Mapping[str, URelation] | None = None,
+        w: VariableTable | None = None,
+        complete: Iterable[str] = (),
+    ):
+        self.relations: dict[str, URelation] = dict(relations or {})
+        self.w: VariableTable = w if w is not None else VariableTable()
+        self.complete: set[str] = set(complete)
+        missing = self.complete - set(self.relations)
+        if missing:
+            raise ValueError(f"complete-marked relations do not exist: {sorted(missing)}")
+        for name in self.complete:
+            if not self.relations[name].is_certain:
+                raise ValueError(
+                    f"relation {name!r} is marked complete but has conditioned tuples"
+                )
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def from_complete(relations: Mapping[str, Relation]) -> "UDatabase":
+        """Lift a classical database: all relations complete."""
+        lifted = {name: URelation.from_complete(rel) for name, rel in relations.items()}
+        return UDatabase(lifted, VariableTable(), set(relations))
+
+    # ------------------------------------------------------------ access
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def relation(self, name: str) -> URelation:
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown relation {name!r}") from exc
+
+    def is_complete(self, name: str) -> bool:
+        return name in self.complete
+
+    def schema_of(self, name: str) -> tuple[str, ...]:
+        return self.relation(name).columns
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(self.relations)
+
+    # ------------------------------------------------------------ mutation
+    def set_relation(self, name: str, urel: URelation, complete: bool = False) -> None:
+        """Session-style assignment ``name := urel`` (as in Example 2.2)."""
+        self.relations[name] = urel
+        if complete:
+            if not urel.is_certain:
+                raise ValueError("cannot mark a conditioned relation complete")
+            self.complete.add(name)
+        else:
+            self.complete.discard(name)
+
+    def copy(self) -> "UDatabase":
+        """Independent copy (W table included) for non-destructive evaluation."""
+        return UDatabase(dict(self.relations), self.w.copy(), set(self.complete))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({len(rel)} rows{'*' if name in self.complete else ''})"
+            for name, rel in sorted(self.relations.items())
+        )
+        return f"UDatabase[{parts}; {len(self.w)} vars]"

@@ -1,0 +1,214 @@
+"""U-relations: relations whose tuples carry world-set conditions.
+
+A U-relation for schema ``R(Ā)`` is a relation ``U_R(D, Ā)`` where the
+``D`` column holds partial functions over the random variables of the W
+table (Section 3).  A tuple ``t`` is in relation ``R`` of possible world
+``f*`` iff some ``⟨f, t⟩ ∈ U_R`` has ``f`` consistent with ``f*``.
+
+The positive relational algebra translates *parsimoniously* over this
+representation (the table in Section 3); those translated operations are
+the methods of this class.  They are purely syntactic — none of them
+looks at the W table — which is what makes them LOGSPACE
+(Proposition 3.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.algebra import schema as _schema
+from repro.algebra.expressions import BoolExpr, Value
+from repro.algebra.relations import ProjectionItem, Relation, normalize_projection
+from repro.urel.conditions import TOP, Condition
+
+__all__ = ["URelation", "URow"]
+
+URow = tuple[Condition, tuple[Value, ...]]
+
+
+@dataclass(frozen=True)
+class URelation:
+    """A U-relation: schema plus a set of conditioned tuples."""
+
+    columns: tuple[str, ...]
+    rows: frozenset[URow] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        cols = _schema.check_schema(self.columns)
+        object.__setattr__(self, "columns", cols)
+        frozen = frozenset((cond, tuple(values)) for cond, values in self.rows)
+        for cond, values in frozen:
+            if not isinstance(cond, Condition):
+                raise TypeError(f"row condition must be a Condition, got {cond!r}")
+            if len(values) != len(cols):
+                raise _schema.SchemaError(
+                    f"tuple {values!r} has arity {len(values)}, schema {cols} "
+                    f"has {len(cols)}"
+                )
+        object.__setattr__(self, "rows", frozen)
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def from_complete(relation: Relation) -> "URelation":
+        """Lift a complete relation: every tuple under the empty condition."""
+        return URelation(
+            relation.columns, frozenset((TOP, row) for row in relation.rows)
+        )
+
+    @staticmethod
+    def from_rows(
+        columns: Sequence[str],
+        rows: Iterable[tuple[Condition, Sequence[Value]]],
+    ) -> "URelation":
+        return URelation(
+            tuple(columns), frozenset((cond, tuple(vals)) for cond, vals in rows)
+        )
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    @property
+    def is_certain(self) -> bool:
+        """True iff every tuple has the empty condition (classical relation)."""
+        return all(cond.is_empty for cond, _ in self.rows)
+
+    def to_complete(self) -> Relation:
+        """The underlying complete relation; requires :attr:`is_certain`."""
+        if not self.is_certain:
+            raise ValueError("U-relation is not certain; cannot drop conditions")
+        return Relation(self.columns, frozenset(vals for _, vals in self.rows))
+
+    def possible_tuples(self) -> Relation:
+        """poss(R) = π_sch(R)(U_R): the distinct data tuples."""
+        return Relation(self.columns, frozenset(vals for _, vals in self.rows))
+
+    def conditions_of(self, row: Sequence[Value]) -> list[Condition]:
+        """The set F of conditions under which data tuple ``row`` appears.
+
+        This is the disjunction whose weight is the tuple's confidence
+        (opening of Section 4).
+        """
+        t = tuple(row)
+        return [cond for cond, vals in self.rows if vals == t]
+
+    def variables(self) -> frozenset:
+        """All random variables mentioned by any condition."""
+        out: set = set()
+        for cond, _ in self.rows:
+            out |= cond.variables
+        return frozenset(out)
+
+    def in_world(self, world: Mapping) -> Relation:
+        """Instantiate this U-relation in the world given by a total assignment."""
+        rows = frozenset(
+            vals for cond, vals in self.rows if cond.evaluate(world)
+        )
+        return Relation(self.columns, rows)
+
+    # ------------------------------------------------------------ translation
+    # These are the parsimonious translations of Section 3.
+    def select(self, condition: BoolExpr) -> "URelation":
+        """[[σ_φ R]] := σ_φ(U_R) — conditions untouched."""
+        cols = self.columns
+        kept = frozenset(
+            (cond, vals)
+            for cond, vals in self.rows
+            if condition.evaluate(dict(zip(cols, vals)))
+        )
+        return URelation(cols, kept)
+
+    def project(self, items: Sequence[ProjectionItem | str]) -> "URelation":
+        """[[π_B̄ R]] := π_{D,B̄}(U_R) — D kept, duplicates merged setwise."""
+        normalized = normalize_projection(items)
+        out_cols = tuple(name for _, name in normalized)
+        cols = self.columns
+        out = set()
+        for cond, vals in self.rows:
+            env = dict(zip(cols, vals))
+            out.add((cond, tuple(expr.evaluate(env) for expr, _ in normalized)))
+        return URelation(_schema.check_schema(out_cols), frozenset(out))
+
+    def rename(self, mapping: Mapping[str, str]) -> "URelation":
+        missing = set(mapping) - set(self.columns)
+        if missing:
+            raise _schema.SchemaError(f"cannot rename missing attributes {sorted(missing)}")
+        new_cols = tuple(mapping.get(c, c) for c in self.columns)
+        return URelation(new_cols, self.rows)
+
+    def product(self, other: "URelation") -> "URelation":
+        """[[R × S]] — join on condition consistency, union the D values."""
+        out_cols = _schema.disjoint_union(self.columns, other.columns)
+        out = set()
+        for lcond, lvals in self.rows:
+            for rcond, rvals in other.rows:
+                merged = lcond.union(rcond)
+                if merged is not None:
+                    out.add((merged, lvals + rvals))
+        return URelation(out_cols, frozenset(out))
+
+    def natural_join(self, other: "URelation") -> "URelation":
+        """Natural join: shared data attributes equal *and* conditions consistent."""
+        out_cols, shared = _schema.natural_join_schema(self.columns, other.columns)
+        lpos = _schema.positions(self.columns, shared)
+        rpos = _schema.positions(other.columns, shared)
+        rkeep = [i for i, c in enumerate(other.columns) if c not in set(shared)]
+        by_key: dict[tuple, list[URow]] = {}
+        for cond, vals in other.rows:
+            by_key.setdefault(tuple(vals[i] for i in rpos), []).append((cond, vals))
+        out = set()
+        for lcond, lvals in self.rows:
+            key = tuple(lvals[i] for i in lpos)
+            for rcond, rvals in by_key.get(key, ()):
+                merged = lcond.union(rcond)
+                if merged is not None:
+                    out.add((merged, lvals + tuple(rvals[i] for i in rkeep)))
+        return URelation(out_cols, frozenset(out))
+
+    def union(self, other: "URelation") -> "URelation":
+        """[[R ∪ S]] := U_R ∪ U_S."""
+        other_aligned = other._align_to(self.columns)
+        return URelation(self.columns, self.rows | other_aligned.rows)
+
+    def difference_complete(self, other: "URelation") -> "URelation":
+        """−_c: difference of relations that are complete (certain).
+
+        General difference is *not* expressible parsimoniously on
+        U-relations (it is excluded from positive UA); only the
+        complete-by-c special case is supported, matching the paper.
+        """
+        if not self.is_certain or not other.is_certain:
+            raise ValueError(
+                "difference on U-relations requires both inputs complete (−_c); "
+                "positive UA excludes general difference"
+            )
+        return URelation.from_complete(self.to_complete().difference(other.to_complete()))
+
+    def _align_to(self, columns: tuple[str, ...]) -> "URelation":
+        if self.columns == columns:
+            return self
+        if set(self.columns) != set(columns):
+            raise _schema.SchemaError(f"incompatible schemas {self.columns} vs {columns}")
+        pos = _schema.positions(self.columns, columns)
+        return URelation(
+            columns,
+            frozenset((cond, tuple(vals[i] for i in pos)) for cond, vals in self.rows),
+        )
+
+    # ------------------------------------------------------------ display
+    def as_display_relation(self) -> Relation:
+        """Render as a relation with a leading D column (like Figure 1)."""
+        rows = [(repr(cond),) + vals for cond, vals in self.rows]
+        return Relation.from_rows(("D",) + self.columns, rows)
+
+    def __str__(self) -> str:
+        from repro.util.tables import format_table
+
+        rows = sorted(
+            ((repr(cond),) + vals for cond, vals in self.rows), key=repr
+        )
+        return format_table(("D",) + self.columns, rows)

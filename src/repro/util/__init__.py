@@ -1,0 +1,6 @@
+"""Small shared utilities: seeded RNG plumbing and ASCII table rendering."""
+
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.tables import format_table
+
+__all__ = ["ensure_rng", "spawn_rng", "format_table"]

@@ -1,0 +1,53 @@
+"""ASCII rendering of relations, used by the runnable examples.
+
+The paper presents its worked examples (Example 2.2, Figure 1) as small
+tables; the example scripts re-print the same tables so a reader can diff
+them against the paper visually.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from fractions import Fraction
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render a cell value compactly (Fractions as ``p/q``, floats trimmed)."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, frozenset):
+        inner = ", ".join(sorted(format_value(v) for v in value))
+        return "{" + inner + "}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Format ``rows`` under ``columns`` as an aligned ASCII table."""
+    header = [str(c) for c in columns]
+    body = [[format_value(v) for v in row] for row in rows]
+    body.sort()
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)

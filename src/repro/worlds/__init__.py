@@ -1,0 +1,31 @@
+"""Nonsuccinct possible-worlds engine (Sections 2 and 3, Proposition 3.5)."""
+
+from repro.worlds.database import PossibleWorldsDB, Prob, World, combine
+from repro.worlds.evaluate import (
+    EvaluationError,
+    evaluate,
+    evaluate_certain,
+    evaluate_worlds,
+)
+from repro.worlds.repair import RepairError, key_repairs
+from repro.worlds.sampling import (
+    SampledConfidences,
+    sample_world,
+    sampled_query_confidences,
+)
+
+__all__ = [
+    "SampledConfidences",
+    "sample_world",
+    "sampled_query_confidences",
+    "PossibleWorldsDB",
+    "World",
+    "Prob",
+    "combine",
+    "evaluate",
+    "evaluate_worlds",
+    "evaluate_certain",
+    "EvaluationError",
+    "key_repairs",
+    "RepairError",
+]

@@ -1,0 +1,203 @@
+"""Nonsuccinct probabilistic databases: explicit weighted sets of possible worlds.
+
+This is the data model of Section 2 of the paper, verbatim: a probabilistic
+database is a finite set of structures ``⟨R₁,…,R_k, p⟩`` with positive
+probabilities summing to one, together with a completeness marking ``c``
+(relations with ``c(R)=1`` agree across all worlds by definition).
+
+The representation is exponential in general (Proposition 3.5 notes that
+``conf`` is cheap here precisely because of the nonsuccinctness); the
+`repro.urel` package is the succinct counterpart.  This engine is the
+executable *semantics* that the U-relational engine is differentially
+tested against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from fractions import Fraction
+from numbers import Rational
+from typing import Union
+
+from repro.algebra.relations import Relation
+
+__all__ = ["World", "PossibleWorldsDB", "Prob", "combine", "prob_is_exact"]
+
+Prob = Union[Fraction, float]
+
+
+def prob_is_exact(p: Prob) -> bool:
+    """True when ``p`` carries exact (rational) arithmetic."""
+    return isinstance(p, Rational)
+
+
+@dataclass(frozen=True)
+class World:
+    """One possible world: an instantiation of every relation, plus its weight."""
+
+    relations: Mapping[str, Relation]
+    probability: Prob
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", dict(self.relations))
+        if not 0 < self.probability <= 1:
+            raise ValueError(f"world probability must be in (0, 1], got {self.probability}")
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise KeyError(f"relation {name!r} not present in world") from exc
+
+    def with_relation(self, name: str, relation: Relation) -> "World":
+        updated = dict(self.relations)
+        updated[name] = relation
+        return World(updated, self.probability)
+
+    def without_relations(self, names: Iterable[str]) -> "World":
+        drop = set(names)
+        return World(
+            {n: r for n, r in self.relations.items() if n not in drop}, self.probability
+        )
+
+    def scaled(self, factor: Prob) -> "World":
+        return World(self.relations, self.probability * factor)
+
+
+@dataclass(frozen=True)
+class PossibleWorldsDB:
+    """A probabilistic database as a finite list of weighted possible worlds.
+
+    ``complete`` is the paper's function ``c``: the set of relation names
+    that are complete *by definition* (must agree across all worlds).
+    """
+
+    worlds: tuple[World, ...]
+    complete: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "worlds", tuple(self.worlds))
+        object.__setattr__(self, "complete", frozenset(self.complete))
+        if not self.worlds:
+            raise ValueError("a probabilistic database needs at least one world")
+        names = set(self.worlds[0].relations)
+        for w in self.worlds:
+            if set(w.relations) != names:
+                raise ValueError("all worlds must define the same relation names")
+        total = sum(w.probability for w in self.worlds)
+        if prob_is_exact(total):
+            if total != 1:
+                raise ValueError(f"world probabilities must sum to 1, got {total}")
+        elif abs(total - 1.0) > 1e-9:
+            raise ValueError(f"world probabilities must sum to 1, got {total}")
+        for name in self.complete:
+            if name not in names:
+                raise ValueError(f"complete-marked relation {name!r} does not exist")
+            reference = self.worlds[0].relation(name)
+            for w in self.worlds:
+                if w.relation(name) != reference:
+                    raise ValueError(
+                        f"relation {name!r} is marked complete but differs across worlds"
+                    )
+
+    # ------------------------------------------------------------ constructors
+    @staticmethod
+    def certain(relations: Mapping[str, Relation]) -> "PossibleWorldsDB":
+        """A single-world database where every relation is complete."""
+        return PossibleWorldsDB(
+            (World(dict(relations), Fraction(1)),), frozenset(relations)
+        )
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(self.worlds[0].relations)
+
+    def n_worlds(self) -> int:
+        return len(self.worlds)
+
+    def schema_of(self, name: str) -> tuple[str, ...]:
+        return self.worlds[0].relation(name).columns
+
+    def possible_tuples(self, name: str) -> Relation:
+        """poss(R) = union of R over all worlds."""
+        cols = self.schema_of(name)
+        rows: set[tuple] = set()
+        for w in self.worlds:
+            rows |= w.relation(name).rows
+        return Relation(cols, frozenset(rows))
+
+    def certain_tuples(self, name: str) -> Relation:
+        """cert(R) = intersection of R over all worlds."""
+        cols = self.schema_of(name)
+        rows: set[tuple] | None = None
+        for w in self.worlds:
+            rows = set(w.relation(name).rows) if rows is None else rows & w.relation(name).rows
+        return Relation(cols, frozenset(rows or set()))
+
+    def tuple_confidence(self, name: str, row: Sequence) -> Prob:
+        """Pr[t ∈ R] = Σ p over worlds containing the tuple (Section 2)."""
+        t = tuple(row)
+        total: Prob = Fraction(0)
+        for w in self.worlds:
+            if t in w.relation(name).rows:
+                total = total + w.probability
+        return total
+
+    def confidence_relation(self, name: str, p_name: str = "P") -> Relation:
+        """The relation computed by ``conf``: possible tuples with confidences."""
+        cols = self.schema_of(name)
+        if p_name in cols:
+            raise ValueError(f"P-column {p_name!r} collides with schema {cols}")
+        out = set()
+        for t in self.possible_tuples(name).rows:
+            out.add(t + (self.tuple_confidence(name, t),))
+        return Relation(cols + (p_name,), frozenset(out))
+
+    # ------------------------------------------------------------ manipulation
+    def map_worlds(self, fn) -> "PossibleWorldsDB":
+        """Apply ``fn: World -> World`` to every world (probabilities preserved)."""
+        return PossibleWorldsDB(tuple(fn(w) for w in self.worlds), self.complete)
+
+    def add_complete_relation(self, name: str, relation: Relation) -> "PossibleWorldsDB":
+        """Add the same relation to every world and mark it complete."""
+        worlds = tuple(w.with_relation(name, relation) for w in self.worlds)
+        return PossibleWorldsDB(worlds, self.complete | {name})
+
+    def drop_relations(self, names: Iterable[str]) -> "PossibleWorldsDB":
+        drop = set(names)
+        worlds = tuple(w.without_relations(drop) for w in self.worlds)
+        return PossibleWorldsDB(worlds, self.complete - drop)
+
+    def merged(self) -> "PossibleWorldsDB":
+        """Merge indistinguishable worlds, summing probabilities (for display)."""
+        buckets: dict[tuple, list[World]] = {}
+        for w in self.worlds:
+            key = tuple(sorted((n, r.columns, r.rows) for n, r in w.relations.items()))
+            buckets.setdefault(key, []).append(w)
+        merged_worlds = []
+        for group in buckets.values():
+            total = group[0].probability
+            for w in group[1:]:
+                total = total + w.probability
+            merged_worlds.append(World(group[0].relations, total))
+        return PossibleWorldsDB(tuple(merged_worlds), self.complete)
+
+
+def combine(left: PossibleWorldsDB, right: PossibleWorldsDB) -> PossibleWorldsDB:
+    """The ⊗ combination of two probabilistic databases (Equation 1).
+
+    Relations of the two databases must have disjoint names; the result's
+    worlds are all pairs with product probabilities.
+    """
+    overlap = left.relation_names & right.relation_names
+    if overlap:
+        raise ValueError(f"⊗ requires disjoint relation names, shared: {sorted(overlap)}")
+    worlds = []
+    for lw in left.worlds:
+        for rw in right.worlds:
+            merged = dict(lw.relations)
+            merged.update(rw.relations)
+            worlds.append(World(merged, lw.probability * rw.probability))
+    return PossibleWorldsDB(tuple(worlds), left.complete | right.complete)

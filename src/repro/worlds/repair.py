@@ -1,0 +1,98 @@
+"""repair-key on complete relations: all maximal key repairs with weights.
+
+``repair-key_{Ā@B}(R)`` (Section 2) computes every subset-maximal relation
+obtainable from ``R`` by removing tuples so that ``Ā`` becomes a key; each
+repair keeps exactly one tuple per ``Ā``-group and carries probability
+
+    Π_groups  weight(chosen tuple) / Σ weight(group).
+
+This is the uncertainty-*introducing* operation of UA, and the paper's
+method of constructing probabilistic databases from complete relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+from itertools import product as iter_product
+from numbers import Rational
+
+from repro.algebra import schema as _schema
+from repro.algebra.relations import Relation
+from repro.worlds.database import Prob
+
+__all__ = ["key_repairs", "RepairError", "group_by_key"]
+
+
+class RepairError(ValueError):
+    """Raised for invalid repair-key applications (bad weights, bad key)."""
+
+
+def _ratio(weight: Prob, total: Prob) -> Prob:
+    """weight/total, staying exact when both are rational."""
+    if isinstance(weight, Rational) and isinstance(total, Rational):
+        return Fraction(weight) / Fraction(total)
+    return float(weight) / float(total)
+
+
+def group_by_key(
+    relation: Relation, key: Sequence[str], weight: str
+) -> dict[tuple, list[tuple[tuple, Prob]]]:
+    """Group rows by key values; return ``{key_values: [(row, weight), ...]}``.
+
+    Validates that every weight is a number greater than zero, as required
+    by Definition 2.1 ("column B ... contains only numerical values greater
+    than 0").
+    """
+    key_pos = _schema.positions(relation.columns, key)
+    weight_pos = _schema.positions(relation.columns, (weight,))[0]
+    groups: dict[tuple, list[tuple[tuple, Prob]]] = {}
+    for row in relation.rows:
+        w = row[weight_pos]
+        if not isinstance(w, (int, float, Fraction)) or isinstance(w, bool) or w <= 0:
+            raise RepairError(
+                f"repair-key weight column {weight!r} must hold numbers > 0, got {w!r}"
+            )
+        groups.setdefault(tuple(row[i] for i in key_pos), []).append((row, w))
+    return groups
+
+
+def key_repairs(
+    relation: Relation,
+    key: Sequence[str],
+    weight: str,
+    max_repairs: int = 1_000_000,
+) -> list[tuple[Relation, Prob]]:
+    """Enumerate all key repairs of ``relation`` with their probabilities.
+
+    The output schema equals the input schema (weights are kept; projecting
+    them away is the caller's choice, as in Example 2.2 of the paper).
+    The number of repairs is the product of group sizes; ``max_repairs``
+    guards against accidental explosion.
+    """
+    groups = group_by_key(relation, key, weight)
+    if not groups:
+        # Repairing an empty relation yields the single empty repair.
+        return [(Relation(relation.columns, frozenset()), Fraction(1))]
+
+    n_repairs = 1
+    for rows in groups.values():
+        n_repairs *= len(rows)
+        if n_repairs > max_repairs:
+            raise RepairError(
+                f"repair-key would create {n_repairs}+ worlds "
+                f"(limit {max_repairs}); use the U-relational engine instead"
+            )
+
+    group_totals = {
+        key_vals: sum(w for _, w in rows) for key_vals, rows in groups.items()
+    }
+    group_items = sorted(groups.items(), key=lambda kv: repr(kv[0]))
+    repairs: list[tuple[Relation, Prob]] = []
+    for choice in iter_product(*(rows for _, rows in group_items)):
+        chosen_rows = frozenset(row for row, _ in choice)
+        prob: Prob = Fraction(1)
+        for (key_vals, _), (_, w) in zip(group_items, choice):
+            prob = prob * _ratio(w, group_totals[key_vals])
+        repairs.append((Relation(relation.columns, chosen_rows), prob))
+    return repairs

@@ -1,0 +1,111 @@
+"""Monte-Carlo sampling of possible worlds — the query-level MC baseline.
+
+The MystiQ line of work ([7, 16]) approximates query answers by Monte
+Carlo simulation over sampled worlds.  This module provides that
+baseline over U-relational databases: sample a total assignment of the
+W-table variables, instantiate every relation, run the (positive) query
+in that single world, and average tuple memberships across samples.
+
+The guarantee is only *additive* (Hoeffding on Bernoulli memberships),
+which is exactly why the paper routes confidence through the Karp–Luby
+FPRAS instead; the estimator is here so that comparison can be made at
+the full-query level too (not just per-DNF, cf. benchmark E6).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from repro.algebra.builder import Q
+from repro.algebra.operators import Query
+from repro.algebra.relations import Relation
+from repro.util.rng import ensure_rng
+from repro.worlds.database import PossibleWorldsDB, World
+from repro.worlds.evaluate import evaluate_worlds
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.urel.conditions import DomValue, Var
+    from repro.urel.udatabase import UDatabase
+
+__all__ = ["SampledConfidences", "sample_world", "sampled_query_confidences"]
+
+
+def sample_world(
+    db: "UDatabase", rng: random.Random
+) -> "dict[Var, DomValue]":
+    """Draw one total assignment of the W-table variables."""
+    return {
+        var: db.w.sample_value(var, rng)
+        for var in sorted(db.w.variables, key=repr)
+    }
+
+
+@dataclass(frozen=True)
+class SampledConfidences:
+    """Monte-Carlo estimates of per-tuple result confidences."""
+
+    columns: tuple[str, ...]
+    counts: Mapping[tuple, int]
+    samples: int
+
+    def confidence(self, row) -> float:
+        """Estimated Pr[row ∈ result]."""
+        if self.samples == 0:
+            return 0.0
+        return self.counts.get(tuple(row), 0) / self.samples
+
+    def as_relation(self, p_name: str = "P") -> Relation:
+        rows = [
+            row + (count / self.samples,) for row, count in self.counts.items()
+        ]
+        return Relation.from_rows(self.columns + (p_name,), rows)
+
+
+def sampled_query_confidences(
+    query: Query | Q,
+    db: "UDatabase",
+    samples: int,
+    rng: random.Random | int | None = None,
+) -> SampledConfidences:
+    """Estimate result-tuple confidences by sampling whole worlds.
+
+    Each sample instantiates the database in one random world and runs
+    the query there with the possible-worlds engine (a one-world
+    database), counting result-tuple occurrences.  Queries may use any
+    operators the worlds engine supports *except* repair-key (which
+    changes the variable set mid-query; apply repair-keys beforehand via
+    a :class:`~repro.urel.USession`, as the paper's sessions do).
+    """
+    node = query.q if isinstance(query, Q) else query
+    generator = ensure_rng(rng)
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    from repro.algebra.operators import RepairKey, walk
+
+    if any(isinstance(q, RepairKey) for q in walk(node)):
+        raise ValueError(
+            "repair-key inside a sampled query is unsupported; apply it "
+            "beforehand in a USession and sample the resulting database"
+        )
+
+    counts: dict[tuple, int] = {}
+    columns: tuple[str, ...] | None = None
+    for _ in range(samples):
+        assignment = sample_world(db, generator)
+        relations = {
+            name: urel.in_world(assignment)
+            for name, urel in db.relations.items()
+        }
+        one_world = PossibleWorldsDB(
+            (World(relations, 1),), frozenset(relations)
+        )
+        ((result, _p),) = evaluate_worlds(node, one_world)
+        columns = result.columns
+        for row in result.rows:
+            counts[row] = counts.get(row, 0) + 1
+    assert columns is not None
+    return SampledConfidences(columns, counts, samples)

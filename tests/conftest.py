@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's coin database on both engines, seeded RNGs."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.relations import Relation
+from repro.generators.coins import (
+    coin_database,
+    coin_worlds_database,
+    evidence_query,
+    pick_coin_query,
+    posterior_query,
+    toss_query,
+)
+from repro.urel import UDatabase, USession
+from repro.worlds import PossibleWorldsDB
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def coins_complete() -> dict[str, Relation]:
+    half = Fraction(1, 2)
+    return {
+        "Coins": Relation.from_rows(
+            ("CoinType", "Count"), [("fair", 2), ("2headed", 1)]
+        ),
+        "Faces": Relation.from_rows(
+            ("CoinType", "Face", "FProb"),
+            [("fair", "H", half), ("fair", "T", half), ("2headed", "H", Fraction(1))],
+        ),
+    }
+
+
+@pytest.fixture
+def coin_udb() -> UDatabase:
+    return coin_database()
+
+
+@pytest.fixture
+def coin_pwdb() -> PossibleWorldsDB:
+    return coin_worlds_database()
+
+
+@pytest.fixture
+def coin_session_after_T() -> USession:
+    """A U-relational session with R, S, T of Example 2.2 assigned."""
+    session = USession(coin_database())
+    session.assign("R", pick_coin_query())
+    session.assign("S", toss_query(2))
+    session.assign("T", evidence_query(["H", "H"]))
+    return session
+
+
+@pytest.fixture
+def posterior_q():
+    return posterior_query()

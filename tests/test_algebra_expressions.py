@@ -1,0 +1,182 @@
+"""Unit tests for the expression language (arith, comparisons, NNF)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    BoolConst,
+    Cmp,
+    Const,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    attributes,
+    col,
+    lit,
+    negate_cmp,
+    rename_attributes,
+    to_nnf,
+)
+
+
+class TestEvaluation:
+    def test_attr_lookup(self):
+        assert col("A").evaluate({"A": 3}) == 3
+
+    def test_attr_missing_raises(self):
+        with pytest.raises(KeyError, match="missing"):
+            col("A").evaluate({"B": 1})
+
+    def test_const(self):
+        assert lit(7).evaluate({}) == 7
+
+    def test_arithmetic_operators(self):
+        row = {"A": 6, "B": 3}
+        assert (col("A") + col("B")).evaluate(row) == 9
+        assert (col("A") - col("B")).evaluate(row) == 3
+        assert (col("A") * col("B")).evaluate(row) == 18
+        assert (col("A") / col("B")).evaluate(row) == 2
+
+    def test_reflected_operators(self):
+        row = {"A": 4}
+        assert (1 + col("A")).evaluate(row) == 5
+        assert (10 - col("A")).evaluate(row) == 6
+        assert (3 * col("A")).evaluate(row) == 12
+        assert (8 / col("A")).evaluate(row) == 2
+
+    def test_negation_term(self):
+        assert (-col("A")).evaluate({"A": 5}) == -5
+
+    def test_fraction_arithmetic_stays_exact(self):
+        row = {"P1": Fraction(1, 6), "P2": Fraction(1, 2)}
+        value = (col("P1") / col("P2")).evaluate(row)
+        assert value == Fraction(1, 3)
+        assert isinstance(value, Fraction)
+
+    def test_comparisons(self):
+        row = {"A": 2, "B": 3}
+        assert (col("A") < col("B")).evaluate(row)
+        assert (col("A") <= lit(2)).evaluate(row)
+        assert (col("B") > lit(2)).evaluate(row)
+        assert (col("B") >= lit(3)).evaluate(row)
+        assert col("A").eq(2).evaluate(row)
+        assert col("A").ne(3).evaluate(row)
+
+    def test_boolean_connectives(self):
+        row = {"A": 1}
+        true = col("A").eq(1)
+        false = col("A").eq(2)
+        assert (true & true).evaluate(row)
+        assert not (true & false).evaluate(row)
+        assert (true | false).evaluate(row)
+        assert not (false | false).evaluate(row)
+        assert (~false).evaluate(row)
+
+    def test_bool_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+
+    def test_unknown_arith_op_rejected(self):
+        with pytest.raises(ValueError, match="arithmetic"):
+            Arith("%", lit(1), lit(2))
+
+    def test_unknown_cmp_op_rejected(self):
+        with pytest.raises(ValueError, match="comparison"):
+            Cmp("~=", lit(1), lit(2))
+
+    def test_string_equality(self):
+        assert col("Face").eq("H").evaluate({"Face": "H"})
+        assert not col("Face").eq("H").evaluate({"Face": "T"})
+
+
+class TestAttributes:
+    def test_collects_nested(self):
+        expr = ((col("A") + col("B")) * lit(2)) >= col("C")
+        assert attributes(expr) == {"A", "B", "C"}
+
+    def test_boolean_combination(self):
+        expr = (col("A") > lit(0)) & ~(col("B").eq(col("C")))
+        assert attributes(expr) == {"A", "B", "C"}
+
+    def test_constants_have_none(self):
+        assert attributes(lit(1) + lit(2)) == frozenset()
+
+
+class TestRename:
+    def test_renames_term(self):
+        expr = col("A") + col("B")
+        renamed = rename_attributes(expr, {"A": "X"})
+        assert renamed.evaluate({"X": 1, "B": 2}) == 3
+
+    def test_renames_through_boolean(self):
+        expr = (col("A") > lit(0)) | (col("B") < lit(0))
+        renamed = rename_attributes(expr, {"A": "X", "B": "Y"})
+        assert attributes(renamed) == {"X", "Y"}
+
+    def test_unmapped_kept(self):
+        renamed = rename_attributes(col("A"), {"Z": "W"})
+        assert attributes(renamed) == {"A"}
+
+
+class TestNnf:
+    def test_pushes_negation_into_atom(self):
+        expr = ~(col("A") < lit(1))
+        nnf = to_nnf(expr)
+        assert isinstance(nnf, Cmp)
+        assert nnf.op == ">="
+
+    def test_de_morgan_and(self):
+        expr = ~((col("A") < lit(1)) & (col("B") < lit(1)))
+        nnf = to_nnf(expr)
+        assert isinstance(nnf, Or)
+        assert all(isinstance(a, Cmp) for a in nnf.args)
+
+    def test_de_morgan_or(self):
+        expr = ~((col("A") < lit(1)) | (col("B") < lit(1)))
+        nnf = to_nnf(expr)
+        assert isinstance(nnf, And)
+
+    def test_double_negation(self):
+        atom = col("A") < lit(1)
+        assert to_nnf(~~atom) == atom
+
+    def test_negated_constant(self):
+        assert to_nnf(~TRUE) == BoolConst(False)
+
+    def test_all_cmp_negations(self):
+        pairs = {"<": ">=", "<=": ">", "=": "!=", "!=": "=", ">=": "<", ">": "<="}
+        for op, neg in pairs.items():
+            assert negate_cmp(Cmp(op, col("A"), lit(1))).op == neg
+
+    @given(
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-5, max_value=5),
+    )
+    def test_nnf_preserves_semantics(self, a: int, b: int):
+        row = {"A": a, "B": b}
+        expr = ~(
+            ((col("A") < lit(1)) & (col("B") >= lit(0)))
+            | ~(col("A").eq(col("B")))
+        )
+        assert to_nnf(expr).evaluate(row) == expr.evaluate(row)
+
+    def test_nnf_has_no_inner_not(self):
+        expr = ~(((col("A") < lit(1)) | ~(col("B") > lit(2))) & (col("C").ne(0)))
+        nnf = to_nnf(expr)
+
+        def no_not(node):
+            if isinstance(node, Not):
+                return False
+            if isinstance(node, (And, Or)):
+                return all(no_not(a) for a in node.args)
+            return True
+
+        assert no_not(nnf)

@@ -1,0 +1,151 @@
+"""Unit tests for the UA operator AST: construction, schemas, traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.builder import literal, rel
+from repro.algebra.expressions import col, lit
+from repro.algebra.operators import (
+    ApproxConf,
+    ApproxSelect,
+    BaseRel,
+    Conf,
+    Difference,
+    Join,
+    Poss,
+    Product,
+    Project,
+    RepairKey,
+    Select,
+    Union,
+    children,
+    output_schema,
+    walk,
+)
+from repro.algebra.schema import SchemaError
+
+SCHEMAS = {
+    "R": ("A", "B"),
+    "S": ("B", "C"),
+    "W8": ("A", "Wt"),
+}
+
+
+class TestConstruction:
+    def test_repair_key_ids_are_fresh(self):
+        a = RepairKey(BaseRel("R"), ("A",), "B")
+        b = RepairKey(BaseRel("R"), ("A",), "B")
+        assert a.op_id != b.op_id
+
+    def test_repair_key_explicit_id(self):
+        a = RepairKey(BaseRel("R"), ("A",), "B", op_id=77)
+        assert a.op_id == 77
+
+    def test_approx_select_default_p_names(self):
+        node = ApproxSelect(BaseRel("R"), col("P1") >= lit(0.5), [["A"]])
+        assert node.p_names == ("P1",)
+
+    def test_approx_select_p_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="one P-name"):
+            ApproxSelect(
+                BaseRel("R"), col("P1") >= lit(0.5), [["A"], []], p_names=["P1"]
+            )
+
+    def test_approx_select_duplicate_p_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ApproxSelect(
+                BaseRel("R"),
+                col("P1") >= lit(0.5),
+                [["A"], []],
+                p_names=["P1", "P1"],
+            )
+
+    def test_approx_select_unknown_predicate_attr(self):
+        with pytest.raises(ValueError, match="neither"):
+            ApproxSelect(BaseRel("R"), col("Q9") >= lit(0.5), [["A"]])
+
+    def test_builder_operator_sugar(self):
+        q = (rel("R") * rel("S").rename({"B": "B2", "C": "C2"})).q
+        assert isinstance(q, Product)
+        q2 = (rel("R") | rel("R")).q
+        assert isinstance(q2, Union)
+        q3 = (rel("R") - rel("R")).q
+        assert isinstance(q3, Difference)
+
+
+class TestTraversal:
+    def test_children_of_every_node_kind(self):
+        base = BaseRel("R")
+        assert children(base) == ()
+        assert children(Select(base, col("A") > lit(0))) == (base,)
+        assert children(Product(base, base)) == (base, base)
+        assert children(Conf(base)) == (base,)
+        lit_node = literal(["X"], [[1]]).q
+        assert children(lit_node) == ()
+
+    def test_walk_yields_all_nodes(self):
+        q = Select(Join(BaseRel("R"), BaseRel("S")), col("A") > lit(0))
+        kinds = [type(n).__name__ for n in walk(q)]
+        assert kinds == ["Select", "Join", "BaseRel", "BaseRel"]
+
+
+class TestOutputSchema:
+    def test_base(self):
+        assert output_schema(BaseRel("R"), SCHEMAS) == ("A", "B")
+
+    def test_unknown_base(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            output_schema(BaseRel("Nope"), SCHEMAS)
+
+    def test_select_checks_attrs(self):
+        with pytest.raises(SchemaError, match="missing"):
+            output_schema(Select(BaseRel("R"), col("Z") > lit(0)), SCHEMAS)
+
+    def test_project_schema(self):
+        q = Project(BaseRel("R"), ["B", (col("A") + lit(1), "A1")])
+        assert output_schema(q, SCHEMAS) == ("B", "A1")
+
+    def test_product_disjointness(self):
+        with pytest.raises(SchemaError, match="disjoint"):
+            output_schema(Product(BaseRel("R"), BaseRel("S")), SCHEMAS)
+
+    def test_join_schema(self):
+        assert output_schema(Join(BaseRel("R"), BaseRel("S")), SCHEMAS) == (
+            "A",
+            "B",
+            "C",
+        )
+
+    def test_union_schema_check(self):
+        with pytest.raises(SchemaError, match="incompatible"):
+            output_schema(Union(BaseRel("R"), BaseRel("S")), SCHEMAS)
+
+    def test_conf_appends_p(self):
+        assert output_schema(Conf(BaseRel("R")), SCHEMAS) == ("A", "B", "P")
+
+    def test_conf_collision_rejected(self):
+        with pytest.raises(SchemaError, match="collides|already"):
+            output_schema(Conf(BaseRel("R"), p_name="A"), SCHEMAS)
+
+    def test_approx_conf_schema(self):
+        q = ApproxConf(BaseRel("R"), 0.1, 0.1, p_name="Pr")
+        assert output_schema(q, SCHEMAS) == ("A", "B", "Pr")
+
+    def test_repair_key_schema_unchanged(self):
+        q = RepairKey(BaseRel("W8"), ("A",), "Wt")
+        assert output_schema(q, SCHEMAS) == ("A", "Wt")
+
+    def test_repair_key_missing_weight(self):
+        q = RepairKey(BaseRel("R"), ("A",), "Wt")
+        with pytest.raises(SchemaError):
+            output_schema(q, SCHEMAS)
+
+    def test_poss_schema(self):
+        assert output_schema(Poss(BaseRel("R")), SCHEMAS) == ("A", "B")
+
+    def test_approx_select_schema(self):
+        q = ApproxSelect(
+            BaseRel("R"), (col("P1") / col("P2")) <= lit(0.5), [["A"], []]
+        )
+        assert output_schema(q, SCHEMAS) == ("A", "P1", "P2")

@@ -1,0 +1,209 @@
+"""Tests for the textual query language (parser → AST → engines)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.operators import (
+    ApproxConf,
+    ApproxSelect,
+    BaseRel,
+    Cert,
+    Conf,
+    Difference,
+    Join,
+    Literal,
+    Poss,
+    Product,
+    Project,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.algebra.parser import ParseError, parse_query, parse_session
+from repro.generators.coins import coin_database
+from repro.urel import USession
+
+EXAMPLE_22_SCRIPT = """
+# Example 2.2, in the textual algebra.
+R := project[CoinType](repair-key[@ Count](Coins));
+S := project[CoinType, Toss, Face](
+       repair-key[CoinType, Toss @ FProb](
+         product(Faces, literal[Toss]{(1), (2)})));
+T := join(R,
+          project[CoinType](select[Toss = 1 and Face = 'H'](S)),
+          project[CoinType](select[Toss = 2 and Face = 'H'](S)));
+U := project[CoinType, P1 / P2 -> P](
+       join(conf[P1](T), conf[P2](project[](T))));
+"""
+
+
+class TestBasicParsing:
+    def test_base_relation(self):
+        assert parse_query("Coins") == BaseRel("Coins")
+
+    def test_select_condition(self):
+        q = parse_query("select[A >= 2 and B = 'x'](R)")
+        assert isinstance(q, Select)
+        assert q.condition.evaluate({"A": 3, "B": "x"})
+        assert not q.condition.evaluate({"A": 1, "B": "x"})
+
+    def test_project_items(self):
+        q = parse_query("project[A, A + B -> S](R)")
+        assert isinstance(q, Project)
+        assert tuple(name for _, name in q.items) == ("A", "S")
+
+    def test_empty_projection(self):
+        q = parse_query("project[](R)")
+        assert isinstance(q, Project)
+        assert q.items == ()
+
+    def test_rename(self):
+        q = parse_query("rename[A -> X, B -> Y](R)")
+        assert isinstance(q, Rename)
+        assert q.as_dict() == {"A": "X", "B": "Y"}
+
+    def test_nary_join_left_assoc(self):
+        q = parse_query("join(A, B, C)")
+        assert isinstance(q, Join)
+        assert isinstance(q.left, Join)
+
+    def test_product_union_diff(self):
+        assert isinstance(parse_query("product(A, B)"), Product)
+        assert isinstance(parse_query("union(A, B)"), Union)
+        assert isinstance(parse_query("diff(A, B)"), Difference)
+
+    def test_diff_arity(self):
+        with pytest.raises(ParseError, match="exactly two"):
+            parse_query("diff(A, B, C)")
+
+    def test_repair_key(self):
+        q = parse_query("repair-key[K1, K2 @ W](R)")
+        assert isinstance(q, RepairKey)
+        assert q.key == ("K1", "K2")
+        assert q.weight == "W"
+
+    def test_repair_key_empty_key(self):
+        q = parse_query("repair-key[@ Count](Coins)")
+        assert isinstance(q, RepairKey)
+        assert q.key == ()
+
+    def test_conf_variants(self):
+        assert isinstance(parse_query("conf(R)"), Conf)
+        q = parse_query("conf[Pr](R)")
+        assert isinstance(q, Conf) and q.p_name == "Pr"
+
+    def test_aconf(self):
+        q = parse_query("aconf[0.1, 0.05, Q](R)")
+        assert isinstance(q, ApproxConf)
+        assert q.eps == pytest.approx(0.1)
+        assert q.delta == pytest.approx(0.05)
+        assert q.p_name == "Q"
+
+    def test_poss_cert(self):
+        assert isinstance(parse_query("poss(R)"), Poss)
+        assert isinstance(parse_query("cert(R)"), Cert)
+
+    def test_literal(self):
+        q = parse_query("literal[Toss]{(1), (2)}")
+        assert isinstance(q, Literal)
+        assert q.relation.rows == {(1,), (2,)}
+
+    def test_literal_strings_and_decimals(self):
+        q = parse_query("literal[A, P]{('x', 0.5)}")
+        assert q.relation.rows == {("x", Fraction(1, 2))}
+
+    def test_aselect(self):
+        q = parse_query(
+            "aselect[P1 / P2 <= 0.5 ; conf(CoinType) as P1, conf() as P2](T)"
+        )
+        assert isinstance(q, ApproxSelect)
+        assert q.groups == (("CoinType",), ())
+        assert q.p_names == ("P1", "P2")
+
+    def test_comments_and_whitespace(self):
+        q = parse_query("select[A = 1]( # choose\n  R )")
+        assert isinstance(q, Select)
+
+    def test_unary_minus_and_precedence(self):
+        q = parse_query("select[-A + 2 * B >= 1](R)")
+        assert q.condition.evaluate({"A": 1, "B": 1})
+        assert not q.condition.evaluate({"A": 2, "B": 1})
+
+    def test_not_or(self):
+        q = parse_query("select[not (A = 1) or B = 2](R)")
+        assert q.condition.evaluate({"A": 5, "B": 0})
+        assert q.condition.evaluate({"A": 1, "B": 2})
+        assert not q.condition.evaluate({"A": 1, "B": 0})
+
+
+class TestParseErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_query("R S")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_query("select[A ~ 1](R)")
+
+    def test_keyword_as_query(self):
+        with pytest.raises(ParseError):
+            parse_query("and")
+
+    def test_select_needs_condition(self):
+        with pytest.raises(ParseError, match="condition"):
+            parse_query("select[A + 1](R)")
+
+    def test_rename_needs_arrows(self):
+        with pytest.raises(ParseError, match="Old -> New"):
+            parse_query("rename[A](R)")
+
+    def test_aconf_needs_numbers(self):
+        with pytest.raises(ParseError, match="eps, delta"):
+            parse_query("aconf[0.1](R)")
+
+    def test_aselect_needs_conf_groups(self):
+        with pytest.raises(ParseError, match="conf"):
+            parse_query("aselect[P1 >= 1 ; poss(A) as P1](R)")
+
+    def test_keyword_in_expression(self):
+        with pytest.raises(ParseError, match="keyword"):
+            parse_query("select[conf = 1](R)")
+
+
+class TestSessionScripts:
+    def test_example_22_full_script(self):
+        db = coin_database()
+        session = USession(db)
+        for name, query in parse_session(EXAMPLE_22_SCRIPT):
+            session.assign(name, query)
+        u = session.db.relation("U").to_complete()
+        assert u.rows == {
+            ("fair", Fraction(1, 3)),
+            ("2headed", Fraction(2, 3)),
+        }
+
+    def test_optional_final_semicolon(self):
+        statements = parse_session("A := R; B := S")
+        assert [name for name, _ in statements] == ["A", "B"]
+
+    def test_aselect_script_round_trip(self):
+        db = coin_database()
+        session = USession(db)
+        script = EXAMPLE_22_SCRIPT + """
+        V := aselect[P1 / P2 <= 0.5 ; conf(CoinType) as P1, conf() as P2](T);
+        """
+        for name, query in parse_session(script):
+            session.assign(name, query)
+        v = session.db.relation("V")
+        assert {vals[0] for _, vals in v.rows} == {"fair"}
+
+    def test_decimal_literals_are_exact(self):
+        (stmt,) = parse_session("A := select[P <= 0.5](R);")
+        _, query = stmt[0], stmt[1]
+        # 0.5 parsed as Fraction(1, 2): predicate exact on Fractions
+        assert query.condition.evaluate({"P": Fraction(1, 2)})
+        assert not query.condition.evaluate({"P": Fraction(501, 1000)})

@@ -1,0 +1,192 @@
+"""Printer tests: parse ∘ unparse round trips, including property-based."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import (
+    And,
+    Attr,
+    Cmp,
+    Const,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.algebra.operators import (
+    ApproxSelect,
+    BaseRel,
+    Conf,
+    Join,
+    Project,
+    RepairKey,
+    Select,
+)
+from repro.algebra.parser import parse_query, parse_session
+from repro.algebra.printer import unparse_expression, unparse_query, unparse_session
+
+
+class TestExpressionRoundTrip:
+    CASES = [
+        "A",
+        "A + B",
+        "A - B - C",
+        "A - (B - C)",
+        "A * B + C / D",
+        "(A + B) * C",
+        "A / (B * C)",
+        "A >= 1",
+        "A + 2 * B <= C",
+        "not A = 1",
+        "A = 1 and B = 2 or not C = 3",
+        "(A = 1 or B = 2) and C = 3",
+        "A = 'x'",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip_semantics(self, text):
+        """parse(unparse(parse(text))) has identical semantics."""
+        wrapped = f"select[{text} = {text}](R)" if "=" not in text else f"select[{text}](R)"
+        original = parse_query(wrapped)
+        reparsed = parse_query(unparse_query(original))
+        env = {"A": 2, "B": 3, "C": 4, "D": 5}
+        try:
+            assert original.condition.evaluate(env) == reparsed.condition.evaluate(env)
+        except (TypeError, KeyError):
+            pass  # string comparisons with ints etc. — only structure matters
+        assert unparse_query(original) == unparse_query(reparsed)
+
+    def test_subtraction_grouping_preserved(self):
+        e = (col("A") - (col("B") - col("C")))
+        text = unparse_expression(e)
+        assert text == "A - (B - C)"
+
+    def test_string_escaping(self):
+        e = col("A").eq("it's")
+        round_tripped = parse_query(f"select[{unparse_expression(e)}](R)")
+        assert round_tripped.condition.evaluate({"A": "it's"})
+
+
+class TestQueryRoundTrip:
+    CASES = [
+        "Coins",
+        "select[A >= 2 and B = 'x'](R)",
+        "project[CoinType, P1 / P2 -> P](R)",
+        "project[](R)",
+        "rename[A -> X, B -> Y](R)",
+        "join(R, S)",
+        "product(R, S)",
+        "union(R, S)",
+        "diff(R, S)",
+        "repair-key[K1, K2 @ W](R)",
+        "repair-key[@ Count](Coins)",
+        "conf[P1](T)",
+        "aconf[0.5, 0.25, Q](R)",
+        "poss(R)",
+        "cert(R)",
+        "literal[Toss]{(1), (2)}",
+        "literal[A, P]{('x', 1)}",
+        "aselect[P1 / P2 <= 1 ; conf(CoinType) as P1, conf() as P2](T)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip_fixed_point(self, text):
+        """unparse ∘ parse is a fixed point after one iteration."""
+        once = unparse_query(parse_query(text))
+        twice = unparse_query(parse_query(once))
+        assert once == twice
+
+    def test_repair_key_round_trip_structure(self):
+        q = parse_query("repair-key[K @ W](R)")
+        q2 = parse_query(unparse_query(q))
+        assert isinstance(q2, RepairKey)
+        assert q2.key == q.key and q2.weight == q.weight
+
+    def test_session_round_trip(self):
+        script = "A := conf[P](R);\nB := select[P >= 1](A);"
+        statements = parse_session(script)
+        rendered = unparse_session(statements)
+        statements2 = parse_session(rendered)
+        assert [n for n, _ in statements] == [n for n, _ in statements2]
+        assert unparse_session(statements2) == rendered
+
+
+# ---------------------------------------------------------------- hypothesis
+_names = st.sampled_from(["A", "B", "C", "D"])
+
+
+@st.composite
+def terms(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Attr(draw(_names))
+        return Const(draw(st.integers(-5, 5)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(terms(depth=depth - 1))
+    right = draw(terms(depth=depth - 1))
+    from repro.algebra.expressions import Arith
+
+    return Arith(op, left, right)
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        op = draw(st.sampled_from(["<", "<=", "=", "!=", ">=", ">"]))
+        return Cmp(op, draw(terms()), draw(terms()))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    parts = (
+        draw(predicates(depth=depth - 1)),
+        draw(predicates(depth=depth - 1)),
+    )
+    return And(parts) if kind == "and" else Or(parts)
+
+
+@st.composite
+def queries(draw, depth=2):
+    if depth == 0:
+        return BaseRel(draw(st.sampled_from(["R", "S"])))
+    kind = draw(
+        st.sampled_from(["base", "select", "project", "join", "conf", "aselect"])
+    )
+    if kind == "base":
+        return BaseRel(draw(st.sampled_from(["R", "S"])))
+    child = draw(queries(depth=depth - 1))
+    if kind == "select":
+        return Select(child, draw(predicates()))
+    if kind == "project":
+        items = draw(
+            st.lists(_names, min_size=0, max_size=3, unique=True)
+        )
+        return Project(child, items)
+    if kind == "join":
+        return Join(child, draw(queries(depth=depth - 1)))
+    if kind == "conf":
+        return Conf(child, "P")
+    return ApproxSelect(
+        child, Cmp(">=", Attr("P1"), Const(1)), [["A"]], ["P1"]
+    )
+
+
+class TestPropertyRoundTrip:
+    @given(predicates())
+    @settings(max_examples=120)
+    def test_predicate_semantics_preserved(self, predicate):
+        text = unparse_expression(predicate)
+        reparsed = parse_query(f"select[{text}](R)").condition
+        for a in (-2, 0, 3):
+            env = {"A": a, "B": a + 1, "C": 1 - a, "D": 2}
+            assert predicate.evaluate(env) == reparsed.evaluate(env)
+
+    @given(queries())
+    @settings(max_examples=80)
+    def test_query_unparse_is_fixed_point(self, query):
+        once = unparse_query(query)
+        reparsed = parse_query(once)
+        assert unparse_query(reparsed) == once

@@ -1,0 +1,180 @@
+"""Unit tests for plain relations and classical relational algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.relations import Relation, empty_relation
+from repro.algebra.schema import SchemaError
+
+
+@pytest.fixture
+def r() -> Relation:
+    return Relation.from_rows(("A", "B"), [(1, "x"), (2, "y"), (3, "x")])
+
+
+@pytest.fixture
+def s() -> Relation:
+    return Relation.from_rows(("B", "C"), [("x", 10), ("y", 20), ("z", 30)])
+
+
+class TestConstruction:
+    def test_rows_frozen_and_deduplicated(self):
+        rel = Relation.from_rows(("A",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="arity"):
+            Relation(("A", "B"), frozenset({(1,)}))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Relation(("A", "A"), frozenset())
+
+    def test_empty_relation(self):
+        rel = empty_relation(("A",))
+        assert len(rel) == 0
+
+    def test_contains(self, r: Relation):
+        assert (1, "x") in r
+        assert (9, "x") not in r
+
+    def test_row_dicts(self, r: Relation):
+        dicts = list(r.row_dicts())
+        assert {"A": 1, "B": "x"} in dicts
+        assert len(dicts) == 3
+
+
+class TestSelect:
+    def test_predicate_filters(self, r: Relation):
+        out = r.select(col("A") >= lit(2))
+        assert out.rows == {(2, "y"), (3, "x")}
+
+    def test_string_predicate(self, r: Relation):
+        out = r.select(col("B").eq("x"))
+        assert out.rows == {(1, "x"), (3, "x")}
+
+    def test_empty_result_keeps_schema(self, r: Relation):
+        out = r.select(col("A") > lit(100))
+        assert out.columns == ("A", "B")
+        assert len(out) == 0
+
+
+class TestProject:
+    def test_plain_projection_deduplicates(self, r: Relation):
+        out = r.project(["B"])
+        assert out.rows == {("x",), ("y",)}
+
+    def test_arithmetic_projection(self, r: Relation):
+        out = r.project([(col("A") * lit(2), "D")])
+        assert out.rows == {(2,), (4,), (6,)}
+
+    def test_mixed_items(self, r: Relation):
+        out = r.project(["B", (col("A") + lit(1), "A1")])
+        assert out.columns == ("B", "A1")
+        assert ("x", 2) in out.rows
+
+    def test_zero_ary_projection(self, r: Relation):
+        out = r.project([])
+        assert out.columns == ()
+        assert out.rows == {()}
+
+    def test_zero_ary_of_empty_is_empty(self):
+        out = empty_relation(("A",)).project([])
+        assert out.rows == frozenset()
+
+    def test_duplicate_output_name_rejected(self, r: Relation):
+        with pytest.raises(SchemaError, match="duplicate"):
+            r.project(["A", ("B", "A")])
+
+
+class TestRename:
+    def test_rename(self, r: Relation):
+        out = r.rename({"A": "X"})
+        assert out.columns == ("X", "B")
+        assert out.rows == r.rows
+
+    def test_rename_missing_rejected(self, r: Relation):
+        with pytest.raises(SchemaError):
+            r.rename({"Z": "Y"})
+
+
+class TestProductJoinUnion:
+    def test_product_schema_and_count(self, r: Relation, s: Relation):
+        renamed = s.rename({"B": "B2"})
+        out = r.product(renamed)
+        assert out.columns == ("A", "B", "B2", "C")
+        assert len(out) == len(r) * len(s)
+
+    def test_product_shared_attrs_rejected(self, r: Relation, s: Relation):
+        with pytest.raises(SchemaError, match="disjoint"):
+            r.product(s)
+
+    def test_natural_join(self, r: Relation, s: Relation):
+        out = r.natural_join(s)
+        assert out.columns == ("A", "B", "C")
+        assert out.rows == {(1, "x", 10), (3, "x", 10), (2, "y", 20)}
+
+    def test_join_no_shared_is_product(self, r: Relation):
+        t = Relation.from_rows(("D",), [(7,)])
+        out = r.natural_join(t)
+        assert len(out) == 3
+
+    def test_union(self, r: Relation):
+        extra = Relation.from_rows(("A", "B"), [(9, "z"), (1, "x")])
+        out = r.union(extra)
+        assert len(out) == 4
+
+    def test_union_aligns_column_order(self, r: Relation):
+        flipped = Relation.from_rows(("B", "A"), [("q", 42)])
+        out = r.union(flipped)
+        assert (42, "q") in out.rows
+
+    def test_union_incompatible_rejected(self, r: Relation, s: Relation):
+        with pytest.raises(SchemaError):
+            r.union(s)
+
+    def test_difference(self, r: Relation):
+        out = r.difference(Relation.from_rows(("A", "B"), [(1, "x")]))
+        assert out.rows == {(2, "y"), (3, "x")}
+
+    def test_intersect(self, r: Relation):
+        out = r.intersect(Relation.from_rows(("A", "B"), [(1, "x"), (5, "q")]))
+        assert out.rows == {(1, "x")}
+
+
+small_rows = st.sets(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=8
+)
+
+
+class TestAlgebraicLaws:
+    @given(small_rows, small_rows)
+    def test_union_commutes(self, a, b):
+        ra = Relation(("A", "B"), frozenset(a))
+        rb = Relation(("A", "B"), frozenset(b))
+        assert ra.union(rb) == rb.union(ra)
+
+    @given(small_rows, small_rows)
+    def test_join_commutes_up_to_schema(self, a, b):
+        ra = Relation(("A", "B"), frozenset(a))
+        rb = Relation(("B", "C"), frozenset(b))
+        left = ra.natural_join(rb)
+        right = rb.natural_join(ra)
+        pos = [right.columns.index(c) for c in left.columns]
+        realigned = frozenset(tuple(row[i] for i in pos) for row in right.rows)
+        assert realigned == left.rows
+
+    @given(small_rows)
+    def test_select_then_union_distributes(self, a):
+        ra = Relation(("A", "B"), frozenset(a))
+        pred = col("A") >= lit(2)
+        assert ra.select(pred).union(ra.select(~pred)) == ra
+
+    @given(small_rows, small_rows)
+    def test_difference_disjoint_from_right(self, a, b):
+        ra = Relation(("A", "B"), frozenset(a))
+        rb = Relation(("A", "B"), frozenset(b))
+        assert not (ra.difference(rb).rows & rb.rows)

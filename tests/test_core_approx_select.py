@@ -1,0 +1,302 @@
+"""Tests for approximate selection σ̂, error accounting, and the driver.
+
+Covers Definition 6.2's operator, Example 6.3's gap, Example 6.5 /
+Lemma 6.4 provenance bounds, Proposition 6.6's closed form, and the
+Theorem 6.7 doubling driver.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.builder import query, rel
+from repro.algebra.expressions import col, lit
+from repro.core import (
+    ApproxQueryEvaluator,
+    UnreliableInputError,
+    evaluate_with_guarantee,
+    example_63_modeled_probability,
+    example_63_true_probability,
+    proposition_66_bound,
+    unreliable_relation_as_uncertain,
+    UnreliableTuple,
+)
+from repro.confidence.bounds import delta_prime
+from repro.generators.coins import (
+    coin_database,
+    evidence_query,
+    pick_coin_query,
+    toss_query,
+)
+from repro.generators.tpdb import tuple_independent
+from repro.urel import USession, UEvaluator
+
+
+def _coin_db_with_T():
+    db = coin_database()
+    session = USession(db)
+    session.assign("R", pick_coin_query())
+    session.assign("S", toss_query(2))
+    session.assign("T", evidence_query(["H", "H"]))
+    return db
+
+
+def _posterior_select(threshold=0.5):
+    pred = (col("P1") / col("P2")) <= lit(threshold)
+    return rel("T").approx_select(pred, groups=[["CoinType"], []])
+
+
+class TestExactSigmaHat:
+    """σ̂ with exact confidences on the plain U-rel engine (the ideal Q)."""
+
+    def test_example_61_selection(self):
+        db = _coin_db_with_T()
+        result = UEvaluator(db, copy_db=True).evaluate(query(_posterior_select()))
+        assert result.complete
+        rows = {vals for _, vals in result.relation.rows}
+        assert rows == {("fair", Fraction(1, 6), Fraction(1, 2))}
+
+    def test_threshold_above_keeps_both(self):
+        db = _coin_db_with_T()
+        result = UEvaluator(db, copy_db=True).evaluate(query(_posterior_select(0.9)))
+        assert len(result.relation) == 2
+
+
+class TestApproxSigmaHat:
+    def test_rounds_mode_selects_correctly(self):
+        db = _coin_db_with_T()
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=2000, rng=5)
+        out = evaluator.evaluate(query(_posterior_select()))
+        kept = {vals[0] for _, vals in out.relation.rows}
+        dropped = {vals[0] for _, vals in out.phantom.rows}
+        assert kept == {"fair"}
+        assert dropped == {"2headed"}
+
+    def test_decision_delta_mode(self):
+        db = _coin_db_with_T()
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, decision_delta=0.01, rng=6)
+        out = evaluator.evaluate(query(_posterior_select()))
+        assert {vals[0] for _, vals in out.relation.rows} == {"fair"}
+        assert all(b <= 0.011 for b in out.all_bounds().values())
+
+    def test_mode_exclusivity(self):
+        db = _coin_db_with_T()
+        with pytest.raises(ValueError, match="exactly one"):
+            ApproxQueryEvaluator(db, eps0=0.05)
+        with pytest.raises(ValueError, match="exactly one"):
+            ApproxQueryEvaluator(db, eps0=0.05, rounds=5, decision_delta=0.1)
+
+    def test_decision_log_records_every_candidate(self):
+        db = _coin_db_with_T()
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=200, rng=7)
+        evaluator.evaluate(query(_posterior_select()))
+        assert len(evaluator.decision_log) == 2  # fair + 2headed candidates
+
+    def test_bound_matches_lemma_64_shape(self):
+        """Per decision: bound ≤ k·δ′(max(ε_ψ, ε₀), l)."""
+        db = _coin_db_with_T()
+        l = 500
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=l, rng=8)
+        out = evaluator.evaluate(query(_posterior_select()))
+        k = 2
+        for record in evaluator.decision_log:
+            ceiling = k * delta_prime(max(record.decision.eps_psi, 0.05), l)
+            assert record.decision.error_bound <= min(0.5, ceiling) + 1e-12
+        assert out.worst_bound() <= 0.5
+
+    def test_repair_key_above_sigma_hat_rejected(self):
+        db = _coin_db_with_T()
+        bad = _posterior_select().project(
+            ["CoinType", (col("P1"), "Wt")]
+        ).repair_key([], weight="Wt")
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=10, rng=9)
+        with pytest.raises(UnreliableInputError, match="footnote 3"):
+            evaluator.evaluate(query(bad))
+
+    def test_conf_above_sigma_hat_rejected(self):
+        db = _coin_db_with_T()
+        bad = _posterior_select().conf("PP")
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=10, rng=9)
+        with pytest.raises(UnreliableInputError, match="simplified"):
+            evaluator.evaluate(query(bad))
+
+    def test_downstream_algebra_propagates_bounds(self):
+        db = _coin_db_with_T()
+        downstream = _posterior_select(0.9).project(["CoinType"])
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=100, rng=10)
+        out = evaluator.evaluate(query(downstream))
+        assert len(out.relation) == 2
+        assert all(b < 1.0 for b in out.mu.values())
+
+    def test_reliable_parts_have_zero_bounds(self):
+        db = _coin_db_with_T()
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=10, rng=11)
+        out = evaluator.evaluate(query(rel("T").project(["CoinType"])))
+        assert out.reliable
+        assert out.worst_bound() == 0.0
+
+
+class TestExample63:
+    def test_gap_direction(self):
+        """The naive model overestimates: 1−δ+δ² > 1−δ+eδ for e < δ."""
+        for delta in (0.1, 0.25, 0.5):
+            for e in (0.0, delta / 2):
+                assert example_63_modeled_probability(
+                    delta
+                ) > example_63_true_probability(delta, e)
+
+    def test_matches_paper_formulas(self):
+        assert example_63_true_probability(0.1, 0.05) == pytest.approx(
+            1 - 0.1 + 0.05 * 0.1
+        )
+        assert example_63_modeled_probability(0.1) == pytest.approx(1 - 0.1 + 0.01)
+
+    def test_gap_via_explicit_model(self):
+        """Build R′ as a TI database and confirm conf(π_∅) reproduces the
+        modeled (wrong) value."""
+        delta = 0.2
+        db = unreliable_relation_as_uncertain(
+            "R",
+            ("A",),
+            [
+                UnreliableTuple(("t1",), selected=False, error_probability=delta),
+                UnreliableTuple(("t2",), selected=True, error_probability=delta),
+            ],
+        )
+        out = UEvaluator(db, copy_db=True).evaluate(
+            query(rel("R").project([]).conf())
+        )
+        ((_, vals),) = out.relation.rows
+        assert float(vals[0]) == pytest.approx(example_63_modeled_probability(delta))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            example_63_true_probability(1.5, 0.1)
+        with pytest.raises(ValueError):
+            example_63_modeled_probability(-0.1)
+
+
+class TestExample65:
+    def test_projection_error_grows_with_provenance(self):
+        """Pr[⟨a⟩ ∈ π_A(R) flips] = 1 − (1−µ)ⁿ ≤ µ·n: the accounting must
+        return exactly the µ·n union bound for the n-tuple relation."""
+        n = 8
+        # two conditioned rows per B value → each candidate's F has size 2,
+        # so every σ̂ decision is genuinely stochastic (non-zero bound).
+        rows = [((f"b{i % n}",), 0.5) for i in range(2 * n)]
+        db = tuple_independent("R", ("B",), rows)
+        keep_all = rel("R").approx_select(col("P1") >= lit(0.0), groups=[["B"]])
+        project_a = keep_all.project([(lit("a"), "A")])
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=50, rng=13)
+        out = evaluator.evaluate(query(project_a))
+        assert len(evaluator.decision_log) == n
+        per_tuple = [r.decision.error_bound for r in evaluator.decision_log]
+        assert all(b > 0 for b in per_tuple)
+        ((_row, bound),) = list(out.mu.items())
+        assert bound == pytest.approx(min(1.0, sum(per_tuple)))
+
+    def test_true_flip_probability_formula(self):
+        mu, n = 0.02, 10
+        exact = 1 - (1 - mu) ** n
+        assert exact <= mu * n
+
+
+class TestProposition66:
+    def test_closed_form(self):
+        k, d, n, eps0, l = 2, 1, 4, 0.1, 500
+        expected = min(1.0, k * d * n ** (k * d) * delta_prime(eps0, l))
+        assert proposition_66_bound(k, d, n, eps0, l) == pytest.approx(expected)
+
+    def test_caps_at_one(self):
+        assert proposition_66_bound(3, 2, 10, 0.01, 1) == 1.0
+
+    def test_zero_depth(self):
+        assert proposition_66_bound(2, 0, 10, 0.1, 100) == 0.0
+
+    def test_monotone_in_rounds(self):
+        lo = proposition_66_bound(2, 1, 4, 0.2, 2000)
+        hi = proposition_66_bound(2, 1, 4, 0.2, 200)
+        assert lo <= hi
+
+    def test_observed_error_within_bound(self):
+        """Measured Q vs Q∼ disagreement rate ≤ the Prop 6.6 bound."""
+        db = _coin_db_with_T()
+        ideal = UEvaluator(db, copy_db=True).evaluate(query(_posterior_select()))
+        ideal_rows = {vals[0] for _, vals in ideal.relation.rows}
+        l = 800
+        flips = 0
+        runs = 20
+        for seed in range(runs):
+            evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=l, rng=seed)
+            out = evaluator.evaluate(query(_posterior_select()))
+            got = {vals[0] for _, vals in out.relation.rows}
+            if got != ideal_rows:
+                flips += 1
+        bound = proposition_66_bound(2, 1, 2, 0.05, l)
+        assert flips / runs <= max(bound * 3, 0.2)
+
+
+class TestTheorem67Driver:
+    def test_achieves_delta(self):
+        db = _coin_db_with_T()
+        report = evaluate_with_guarantee(
+            _posterior_select(), db, delta=0.02, eps0=0.05, rng=17
+        )
+        assert report.achieved
+        non_singular = {
+            r: b for r, b in report.tuple_bounds.items()
+            if r not in report.singular_rows
+        }
+        assert all(b <= 0.02 for b in non_singular.values())
+        kept = {vals[0] for _, vals in report.relation.rows}
+        assert kept == {"fair"}
+
+    def test_doubling_history(self):
+        db = _coin_db_with_T()
+        report = evaluate_with_guarantee(
+            _posterior_select(), db, delta=0.02, eps0=0.05, rng=18
+        )
+        rounds_seq = [l for l, _ in report.history]
+        assert rounds_seq == sorted(rounds_seq)
+        for a, b in zip(rounds_seq, rounds_seq[1:]):
+            assert b <= 2 * a
+        assert report.evaluations == len(report.history)
+
+    def test_smaller_delta_more_rounds(self):
+        db = _coin_db_with_T()
+        loose = evaluate_with_guarantee(
+            _posterior_select(), db, delta=0.2, eps0=0.05, rng=19
+        )
+        tight = evaluate_with_guarantee(
+            _posterior_select(), db, delta=0.005, eps0=0.05, rng=19
+        )
+        assert tight.rounds >= loose.rounds
+
+    def test_singular_threshold_reported(self):
+        """Threshold exactly at the true ratio 1/3: that tuple's decisions
+        sit on a singularity and must be flagged, not guaranteed."""
+        db = _coin_db_with_T()
+        singular_select = rel("T").approx_select(
+            (col("P1") / col("P2")) <= lit(Fraction(1, 3)),
+            groups=[["CoinType"], []],
+        )
+        report = evaluate_with_guarantee(
+            singular_select, db, delta=0.05, eps0=0.1, rng=20, max_rounds=512
+        )
+        assert any(vals[0] == "fair" for _, vals in report.singular_rows)
+
+    def test_delta_validation(self):
+        db = _coin_db_with_T()
+        with pytest.raises(ValueError, match="delta"):
+            evaluate_with_guarantee(_posterior_select(), db, delta=0, eps0=0.1)
+
+    def test_report_relation_property(self):
+        db = _coin_db_with_T()
+        report = evaluate_with_guarantee(
+            _posterior_select(), db, delta=0.05, eps0=0.05, rng=23
+        )
+        assert report.relation is report.annotated.relation

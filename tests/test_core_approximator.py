@@ -1,0 +1,228 @@
+"""Tests for the Figure 3 algorithm (Theorem 5.8) and the naive baseline."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.confidence import Dnf, probability_by_decomposition
+from repro.core.approximator import PredicateApproximator, approximate_predicate
+from repro.core.naive import naive_decide
+from repro.generators.hard import bipartite_2dnf, chain_dnf
+from repro.urel.conditions import Condition
+from repro.urel.variables import VariableTable
+
+
+def _chain(length=5) -> tuple[Dnf, float]:
+    d = chain_dnf(length)
+    return d, float(probability_by_decomposition(d))
+
+
+class TestConstruction:
+    def test_eps0_validation(self):
+        d, _ = _chain()
+        with pytest.raises(ValueError, match="eps0"):
+            PredicateApproximator(col("p") >= lit(0.5), {"p": d}, eps0=0.0)
+        with pytest.raises(ValueError, match="eps0"):
+            PredicateApproximator(col("p") >= lit(0.5), {"p": d}, eps0=1.0)
+
+    def test_missing_value_rejected(self):
+        d, _ = _chain()
+        with pytest.raises(ValueError, match="q"):
+            PredicateApproximator(col("q") >= lit(0.5), {"p": d}, eps0=0.1)
+
+    def test_constants_allowed(self):
+        d, _ = _chain()
+        approx = PredicateApproximator(
+            col("p") >= col("tau"), {"p": d}, eps0=0.1, constants={"tau": 0.2}
+        )
+        decision = approx.decide(0.2)
+        assert isinstance(decision.value, bool)
+
+    def test_unknown_epsilon_method(self):
+        d, _ = _chain()
+        with pytest.raises(ValueError, match="epsilon_method"):
+            PredicateApproximator(
+                col("p") >= lit(0.5), {"p": d}, eps0=0.1, epsilon_method="guess"
+            )
+
+
+class TestExactShortcut:
+    def test_all_exact_values_decide_without_sampling(self):
+        w = VariableTable()
+        w.add("X", {1: Fraction(1, 4), 0: Fraction(3, 4)})
+        exact = Dnf([Condition({"X": 1})], w)  # singleton → exact
+        decision = approximate_predicate(
+            col("p") >= lit(0.2), {"p": exact}, eps0=0.05, delta=0.01, rng=0
+        )
+        assert decision.exact
+        assert decision.value is True
+        assert decision.error_bound == 0.0
+        assert decision.total_trials == 0
+
+
+class TestDecide:
+    def test_correct_decision_clear_margin(self):
+        d, truth = _chain()
+        for threshold, expected in [(truth * 0.5, True), (truth * 1.5, False)]:
+            decision = approximate_predicate(
+                col("p") >= lit(threshold), {"p": d}, eps0=0.02, delta=0.05, rng=11
+            )
+            assert decision.value is expected
+            assert decision.error_bound <= 0.05
+            assert not decision.suspected_singularity
+
+    def test_error_bound_is_figure3_output(self):
+        """bound = min(0.5, Σδᵢ(ε)) with δᵢ from the final sample counts."""
+        d, truth = _chain()
+        approx = PredicateApproximator(
+            col("p") >= lit(truth * 0.5), {"p": d}, eps0=0.05, rng=3
+        )
+        decision = approx.decide(0.05)
+        sampler = approx.samplers["p"]
+        assert decision.error_bound == pytest.approx(
+            min(0.5, sampler.error_bound(decision.eps))
+        )
+
+    def test_rounds_scale_with_boundary_distance(self):
+        """Closer thresholds → smaller ε_ψ → more rounds (Figure 3's point)."""
+        d, truth = _chain()
+        rounds = []
+        for factor in (0.3, 0.7, 0.9):
+            decision = approximate_predicate(
+                col("p") >= lit(truth * factor),
+                {"p": d},
+                eps0=0.01,
+                delta=0.1,
+                rng=21,
+            )
+            rounds.append(decision.rounds)
+        assert rounds[0] <= rounds[1] <= rounds[2]
+        assert rounds[0] < rounds[2]
+
+    def test_singularity_detected_on_boundary_threshold(self):
+        """Threshold = exact confidence: ε_ψ cannot exceed ε₀ (Def. 5.6)."""
+        d, truth = _chain()
+        decision = approximate_predicate(
+            col("p") >= lit(truth), {"p": d}, eps0=0.05, delta=0.1, rng=5
+        )
+        assert decision.suspected_singularity
+        assert decision.eps == pytest.approx(0.05)
+
+    def test_terminates_at_singularity_with_bound(self):
+        d, truth = _chain()
+        decision = approximate_predicate(
+            col("p") >= lit(truth), {"p": d}, eps0=0.1, delta=0.2, rng=6
+        )
+        assert decision.error_bound <= 0.2
+
+    def test_statistical_correctness(self):
+        """Repeated runs: wrong decisions ≤ δ (with slack), Theorem 5.8."""
+        d, truth = _chain(4)
+        threshold = truth * 0.8
+        delta = 0.1
+        wrong = 0
+        runs = 40
+        for seed in range(runs):
+            decision = approximate_predicate(
+                col("p") >= lit(threshold), {"p": d}, eps0=0.02, delta=delta, rng=seed
+            )
+            if decision.value is not True:
+                wrong += 1
+        assert wrong <= max(2, int(2 * delta * runs))
+
+    def test_multi_value_predicate(self):
+        d1 = chain_dnf(4)
+        d2 = bipartite_2dnf(3, 3, rng=4)
+        p1 = float(probability_by_decomposition(d1))
+        p2 = float(probability_by_decomposition(d2))
+        pred = (col("p1") - col("p2")) >= lit((p1 - p2) - 0.3)
+        decision = approximate_predicate(
+            pred, {"p1": d1, "p2": d2}, eps0=0.02, delta=0.1, rng=8
+        )
+        assert decision.value is True
+        assert set(decision.estimates) == {"p1", "p2"}
+
+    def test_round_accounting(self):
+        d, truth = _chain()
+        approx = PredicateApproximator(
+            col("p") >= lit(truth * 0.5), {"p": d}, eps0=0.05, rng=2
+        )
+        decision = approx.decide(0.1)
+        assert decision.total_trials == decision.rounds * d.size
+
+    def test_delta_validation(self):
+        d, _ = _chain()
+        approx = PredicateApproximator(col("p") >= lit(0.1), {"p": d}, eps0=0.1)
+        with pytest.raises(ValueError, match="delta"):
+            approx.decide(0.0)
+
+
+class TestRunRounds:
+    def test_fixed_budget(self):
+        d, truth = _chain()
+        approx = PredicateApproximator(
+            col("p") >= lit(truth * 0.5), {"p": d}, eps0=0.05, rng=7
+        )
+        decision = approx.run_rounds(50)
+        assert decision.rounds == 50
+        assert decision.total_trials == 50 * d.size
+
+    def test_more_rounds_tighter_bound(self):
+        d, truth = _chain()
+        bounds = []
+        for rounds in (5, 50, 500):
+            approx = PredicateApproximator(
+                col("p") >= lit(truth * 0.5), {"p": d}, eps0=0.05, rng=9
+            )
+            bounds.append(approx.run_rounds(rounds).error_bound)
+        assert bounds[0] >= bounds[1] >= bounds[2]
+
+    def test_rounds_validation(self):
+        d, _ = _chain()
+        approx = PredicateApproximator(col("p") >= lit(0.1), {"p": d}, eps0=0.1)
+        with pytest.raises(ValueError, match="rounds"):
+            approx.run_rounds(0)
+
+
+class TestNaiveVsAdaptive:
+    def test_adaptive_needs_fewer_trials_off_boundary(self):
+        d, truth = _chain()
+        pred = col("p") >= lit(truth * 0.4)
+        eps0, delta = 0.05, 0.05
+        adaptive = approximate_predicate(pred, {"p": d}, eps0, delta, rng=31)
+        naive = naive_decide(pred, {"p": d}, eps0, delta, rng=32)
+        assert adaptive.value == naive.value
+        assert adaptive.total_trials < naive.total_trials
+
+    def test_speedup_factor_shape(self):
+        """Measured speedup grows as the point moves away from the boundary
+        — the (ε_φ² − ε₀²)/ε_φ² claim of Section 5."""
+        d, truth = _chain()
+        eps0, delta = 0.05, 0.1
+        speedups = []
+        for factor in (0.85, 0.5, 0.2):
+            pred = col("p") >= lit(truth * factor)
+            adaptive = approximate_predicate(pred, {"p": d}, eps0, delta, rng=41)
+            naive = naive_decide(pred, {"p": d}, eps0, delta, rng=42)
+            speedups.append(naive.total_trials / max(1, adaptive.total_trials))
+        assert speedups[0] < speedups[-1]
+
+    def test_naive_flags_boundary_as_undecidable(self):
+        d, truth = _chain()
+        naive = naive_decide(
+            col("p") >= lit(truth), {"p": d}, eps0=0.1, delta=0.2, rng=4
+        )
+        assert naive.suspected_singularity
+
+    def test_naive_exact_passthrough(self):
+        w = VariableTable()
+        w.add("X", {1: Fraction(1, 2), 0: Fraction(1, 2)})
+        exact = Dnf([Condition({"X": 1})], w)
+        decision = naive_decide(
+            col("p") >= lit(0.4), {"p": exact}, eps0=0.1, delta=0.1, rng=1
+        )
+        assert decision.exact

@@ -1,0 +1,125 @@
+"""Tests for automatic variable duplication (the Section 5 trick).
+
+"Rather than using the same unreliable value twice in a formula, we can
+instead approximate the same value twice (yielding a value with an
+independent error) and represent the two approximation results by two
+different variables."  The approximator applies this automatically when
+a non-linear predicate repeats a stochastic value (linear predicates
+collect coefficients instead, and exact constants never trigger it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.confidence import probability_by_decomposition
+from repro.core import (
+    ExactValue,
+    HoeffdingMeanValue,
+    KarpLubyValue,
+    PredicateApproximator,
+    approximate_predicate,
+)
+from repro.generators.hard import chain_dnf
+
+DNF = chain_dnf(4)
+TRUTH = float(probability_by_decomposition(DNF))
+
+
+class TestClone:
+    def test_karp_luby_clone_is_fresh_and_independent(self):
+        a = KarpLubyValue(DNF, rng=1)
+        a.refine()
+        b = a.clone(rng=2)
+        assert b.trials == 0
+        assert b.dnf is a.dnf
+        b.refine()
+        a2 = KarpLubyValue(DNF, rng=1)
+        a2.refine()
+        assert a.estimate == a2.estimate  # clone did not disturb a's stream
+
+    def test_hoeffding_clone(self):
+        v = HoeffdingMeanValue(
+            lambda rng: rng.uniform(0.4, 0.6), (0.4, 0.6), rng=3, batch_size=8
+        )
+        v.refine()
+        c = v.clone(rng=4)
+        assert c.trials == 0
+        c.refine()
+        assert c.trials == 8
+
+    def test_exact_clone_is_self(self):
+        v = ExactValue(0.5)
+        assert v.clone() is v
+
+
+class TestAutoDuplication:
+    def test_nonlinear_repeat_gets_duplicated(self):
+        pred = (col("p") * (lit(1.0) - col("p"))) >= lit(TRUTH * (1 - TRUTH) * 0.5)
+        approximator = PredicateApproximator(pred, {"p": DNF}, eps0=0.05, rng=5)
+        assert set(approximator.aliases.values()) == {"p"}
+        assert len(approximator.aliases) == 2
+        assert "p" not in approximator.samplers
+        decision = approximator.decide(0.1)
+        assert decision.value is True
+        assert len(decision.estimates) == 2
+
+    def test_duplicates_are_independent_streams(self):
+        pred = (col("p") * col("p")) >= lit(TRUTH * TRUTH * 0.5)
+        approximator = PredicateApproximator(pred, {"p": DNF}, eps0=0.05, rng=6)
+        approximator.run_rounds(30)
+        estimates = [s.estimate for s in approximator.samplers.values()]
+        assert estimates[0] != estimates[1]  # distinct randomness
+
+    def test_linear_repeat_not_duplicated(self):
+        """x + x is linear (collects to 2x): Theorem 5.2 handles it."""
+        pred = (col("p") + col("p")) >= lit(TRUTH)
+        approximator = PredicateApproximator(pred, {"p": DNF}, eps0=0.05, rng=7)
+        assert approximator.aliases == {}
+        assert "p" in approximator.samplers
+        decision = approximator.decide(0.1)
+        assert decision.value is True
+
+    def test_constants_do_not_trigger_duplication(self):
+        pred = (col("p") * col("tau")) >= (col("tau") * lit(TRUTH * 0.5))
+        approximator = PredicateApproximator(
+            pred, {"p": DNF}, eps0=0.05, rng=8, constants={"tau": 2.0}
+        )
+        # tau repeats but is exact: substituted away, p occurs once.
+        assert approximator.aliases == {}
+        decision = approximator.decide(0.1)
+        assert decision.value is True
+
+    def test_exact_values_not_duplicated(self):
+        pred = (col("q") * col("q")) >= lit(0.2)
+        approximator = PredicateApproximator(
+            pred, {"q": ExactValue(0.6)}, eps0=0.05, rng=9
+        )
+        assert approximator.aliases == {}
+        decision = approximator.decide(0.1)
+        assert decision.exact
+        assert decision.value is True
+
+    def test_linear_method_never_duplicates(self):
+        pred = (col("p") * col("p")) >= lit(0.1)
+        approximator = PredicateApproximator(
+            pred, {"p": DNF}, eps0=0.05, rng=10, epsilon_method="linear"
+        )
+        assert approximator.aliases == {}
+        with pytest.raises(Exception):
+            approximator.decide(0.1)  # linear extraction must fail honestly
+
+    def test_statistical_correctness_with_duplication(self):
+        pred = (col("p") * (lit(2.0) - col("p"))) >= lit(
+            TRUTH * (2 - TRUTH) * 0.6
+        )
+        wrong = 0
+        runs = 25
+        for seed in range(runs):
+            decision = approximate_predicate(
+                pred, {"p": DNF}, eps0=0.03, delta=0.1, rng=seed
+            )
+            if decision.value is not True:
+                wrong += 1
+        assert wrong <= 3

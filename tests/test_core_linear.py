@@ -1,0 +1,286 @@
+"""Tests for Lemma 5.1 geometry and the Theorem 5.2 closed-form ε."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import And, Or, col, lit
+from repro.core.intervals import Orthotope, relative_interval, singularity_interval
+from repro.core.linear import (
+    EPS_CAP,
+    NonLinearError,
+    affine_form,
+    atom_as_geq,
+    atom_epsilon,
+    clamp_epsilon,
+    epsilon_for_predicate,
+    theorem_52_epsilon,
+)
+
+
+class TestIntervals:
+    def test_relative_interval_is_lemma_51(self):
+        lo, hi = relative_interval(0.5, 0.2)
+        assert lo == pytest.approx(0.5 / 1.2)
+        assert hi == pytest.approx(0.5 / 0.8)
+
+    def test_interval_contains_values_iff_relative_error(self):
+        """|p − p̂| < ε·p  ⇔  p̂/(1+ε) < p < p̂/(1−ε)."""
+        rng = random.Random(5)
+        for _ in range(300):
+            p_hat = rng.uniform(0.01, 2.0)
+            eps = rng.uniform(0.01, 0.9)
+            p = rng.uniform(0.001, 3.0)
+            lo, hi = relative_interval(p_hat, eps)
+            assert (abs(p - p_hat) < eps * p) == (lo < p < hi)
+
+    def test_degenerate_zero(self):
+        assert relative_interval(0.0, 0.5) == (0.0, 0.0)
+
+    def test_eps_range_validation(self):
+        with pytest.raises(ValueError):
+            relative_interval(0.5, 1.0)
+        with pytest.raises(ValueError):
+            relative_interval(0.5, -0.1)
+
+    def test_singularity_interval_is_multiplicative_box(self):
+        assert singularity_interval(0.5, 0.2) == (0.4, pytest.approx(0.6))
+
+    def test_orthotope_corners_count(self):
+        box = Orthotope({"x": 0.5, "y": 0.25}, 0.2)
+        assert len(list(box.corners())) == 4
+
+    def test_orthotope_degenerate_axis(self):
+        box = Orthotope({"x": 0.5, "y": 0.0}, 0.2)
+        assert len(list(box.corners())) == 2
+
+    def test_orthotope_contains_center(self):
+        box = Orthotope({"x": 0.5}, 0.2)
+        assert box.contains({"x": 0.5})
+        assert not box.contains({"x": 0.9})
+
+    def test_orthotope_open_vs_closed(self):
+        box = Orthotope({"x": 0.5}, 0.25)
+        lo, _hi = box.interval("x")
+        assert not box.contains({"x": lo})
+        assert box.contains({"x": lo}, closed=True)
+
+    def test_sample_stays_inside(self, rng):
+        box = Orthotope({"x": 0.5, "y": 1.5}, 0.3)
+        for _ in range(50):
+            assert box.contains(box.sample(rng), closed=True)
+
+
+class TestAffineForm:
+    def test_simple(self):
+        coeffs, const = affine_form((col("x") * lit(2) + lit(3)))
+        assert coeffs == {"x": 2}
+        assert const == 3
+
+    def test_collects_terms(self):
+        coeffs, const = affine_form(col("x") + col("x") + lit(1) - col("y"))
+        assert coeffs == {"x": 2, "y": -1}
+        assert const == 1
+
+    def test_cancellation_drops_zero_coeff(self):
+        coeffs, _ = affine_form(col("x") - col("x") + col("y"))
+        assert coeffs == {"y": Fraction(1)}
+
+    def test_division_by_constant(self):
+        coeffs, const = affine_form((col("x") + lit(1)) / lit(2))
+        assert coeffs == {"x": Fraction(1, 2)}
+        assert const == Fraction(1, 2)
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(NonLinearError, match="product"):
+            affine_form(col("x") * col("y"))
+
+    def test_nonlinear_division_rejected(self):
+        with pytest.raises(NonLinearError, match="division"):
+            affine_form(lit(1) / col("x"))
+
+    def test_atom_as_geq_orients_less_than(self):
+        coeffs, b, strict = atom_as_geq(col("x") < lit(3))
+        assert coeffs == {"x": -1}
+        assert b == -3
+        assert strict
+
+    def test_atom_as_geq_moves_rhs(self):
+        coeffs, b, strict = atom_as_geq(col("x") - lit(1) >= col("y") + lit(2))
+        assert coeffs == {"x": 1, "y": -1}
+        assert b == 3
+        assert not strict
+
+    def test_equality_needs_special_handling(self):
+        with pytest.raises(ValueError, match="atom_epsilon"):
+            atom_as_geq(col("x").eq(1))
+
+
+class TestTheorem52:
+    def test_example_54_figure_2(self):
+        """The paper's worked example: ε = 1/3, orthotope [3/8, 3/4]²."""
+        pred = (col("x1") - lit(Fraction(1, 2)) * col("x2")) >= lit(0)
+        point = {"x1": Fraction(1, 2), "x2": Fraction(1, 2)}
+        eps = epsilon_for_predicate(pred, point)
+        assert eps == pytest.approx(1 / 3)
+        lo, hi = relative_interval(0.5, eps)
+        assert lo == pytest.approx(3 / 8)
+        assert hi == pytest.approx(3 / 4)
+
+    def test_example_54_touching_point(self):
+        """The orthotope touches 2x₁ = x₂ at (3/8, 3/4)."""
+        eps = 1 / 3
+        x = (0.5 / (1 + eps), 0.5 / (1 - eps))
+        assert 2 * x[0] == pytest.approx(x[1])
+
+    def test_b_zero_branch(self):
+        eps = theorem_52_epsilon({"x": 1, "y": -1}, 0, {"x": 0.75, "y": 0.25})
+        assert eps == pytest.approx((0.75 - 0.25) / (0.75 + 0.25))
+
+    def test_on_hyperplane_gives_zero(self):
+        """Remark 5.3: a point on h yields ε = 0."""
+        assert theorem_52_epsilon({"x": 1}, Fraction(1, 2), {"x": Fraction(1, 2)}) == 0.0
+
+    def test_constant_predicate_unbounded(self):
+        assert theorem_52_epsilon({}, -1, {"x": 0.5}) == math.inf
+
+    def test_violating_point_rejected(self):
+        with pytest.raises(ValueError, match="satisfying"):
+            theorem_52_epsilon({"x": 1}, 2, {"x": 0.5})
+
+    def test_quadratic_true_root_touches_hyperplane(self):
+        """b > 0: the returned ε makes the worst corner land on Σaᵢxᵢ = b
+        (this is where we deviate from the paper's 'larger root')."""
+        coeffs = {"x": 1.0, "y": 1.0}
+        point = {"x": 0.5, "y": 0.5}
+        eps = theorem_52_epsilon(coeffs, 0.6, point)
+        assert eps == pytest.approx(2 / 3)
+        worst = point["x"] / (1 + eps) + point["y"] / (1 + eps)
+        assert worst == pytest.approx(0.6)
+
+    def test_quadratic_mixed_signs(self):
+        coeffs = {"x": 1.0, "y": -1.0}
+        point = {"x": 1.2, "y": 0.2}
+        eps = theorem_52_epsilon(coeffs, 0.5, point)
+        worst = point["x"] / (1 + eps) - point["y"] / (1 - eps)
+        assert worst == pytest.approx(0.5)
+
+    def test_negative_b(self):
+        coeffs = {"x": 1.0, "y": -1.0}
+        point = {"x": 1.0, "y": 0.4}
+        eps = theorem_52_epsilon(coeffs, -0.5, point)
+        assert 0 < eps
+        if eps < 1:
+            worst = point["x"] / (1 + eps) - point["y"] / (1 - eps)
+            assert worst == pytest.approx(-0.5)
+
+    def test_never_touching_returns_inf(self):
+        """All-positive coefficients with b > 0 far below: the worst corner
+        Σaᵢp̂ᵢ/(1+ε) stays above b for every ε < 1 → unbounded."""
+        eps = theorem_52_epsilon({"x": 1.0}, 0.4, {"x": 1.0})
+        assert math.isinf(eps) or eps >= 1.0 - 1e-9
+
+    @given(
+        st.floats(0.05, 2.0),
+        st.floats(0.05, 2.0),
+        st.floats(-2.0, 2.0),
+        st.floats(-2.0, 2.0),
+        st.floats(-1.5, 1.5),
+    )
+    @settings(max_examples=200)
+    def test_homogeneity_property(self, px, py, ax, ay, b):
+        """Every point of the ε-orthotope satisfies the (satisfied) atom."""
+        point = {"x": px, "y": py}
+        alpha = ax * px + ay * py
+        if alpha < b or (ax == 0 and ay == 0):
+            return
+        eps = theorem_52_epsilon({"x": ax, "y": ay}, b, point)
+        if eps == 0 or math.isinf(eps):
+            return
+        test_eps = min(eps, EPS_CAP) * 0.999
+        box = Orthotope(point, test_eps)
+        for corner in box.corners():
+            assert ax * corner["x"] + ay * corner["y"] >= b - 1e-7
+
+
+class TestPredicateEpsilon:
+    def test_atom_false_at_point_uses_complement(self):
+        pred = col("x") >= lit(0.8)
+        eps = epsilon_for_predicate(pred, {"x": 0.4})
+        # complement x < 0.8 at 0.4: quadratic branch for −x ≥ −0.8
+        assert eps > 0
+        # within the box, the atom stays false:
+        box = Orthotope({"x": 0.4}, min(eps, EPS_CAP) * 0.999)
+        for corner in box.corners():
+            assert corner["x"] < 0.8
+
+    def test_conjunction_true_takes_min(self):
+        a = col("x") >= lit(0.2)
+        b = col("x") <= lit(0.9)
+        point = {"x": 0.5}
+        eps = epsilon_for_predicate(a & b, point)
+        assert eps == pytest.approx(
+            min(epsilon_for_predicate(a, point), epsilon_for_predicate(b, point))
+        )
+
+    def test_disjunction_true_takes_max_over_true(self):
+        a = col("x") >= lit(0.45)  # true, close
+        b = col("x") >= lit(0.9)  # false
+        point = {"x": 0.5}
+        eps = epsilon_for_predicate(a | b, point)
+        assert eps == pytest.approx(epsilon_for_predicate(a, point))
+
+    def test_disjunction_false_takes_min(self):
+        a = col("x") >= lit(0.8)
+        b = col("x") >= lit(0.9)
+        point = {"x": 0.5}
+        eps = epsilon_for_predicate(a | b, point)
+        assert eps == pytest.approx(epsilon_for_predicate(a, point))
+
+    def test_negation_transparent(self):
+        a = col("x") >= lit(0.8)
+        point = {"x": 0.5}
+        assert epsilon_for_predicate(~a, point) == epsilon_for_predicate(a, point)
+
+    def test_equality_true_is_singular(self):
+        assert epsilon_for_predicate(col("x").eq(0.5), {"x": 0.5}) == 0.0
+
+    def test_equality_false_has_positive_radius(self):
+        assert epsilon_for_predicate(col("x").eq(0.5), {"x": 0.7}) > 0
+
+    def test_inequality_atom_ne(self):
+        assert epsilon_for_predicate(col("x").ne(0.5), {"x": 0.5}) == 0.0
+        assert epsilon_for_predicate(col("x").ne(0.5), {"x": 0.7}) > 0
+
+    def test_certainty_test_is_singular_when_true(self):
+        """Example 5.7: confidence = 1 can never be approximated."""
+        pred = col("p") >= lit(1)
+        assert epsilon_for_predicate(pred, {"p": 1.0}) == 0.0
+        assert epsilon_for_predicate(pred, {"p": 0.9}) > 0.0
+
+    def test_clamp(self):
+        assert clamp_epsilon(5.0) == EPS_CAP
+        assert clamp_epsilon(-1.0) == 0.0
+        assert clamp_epsilon(0.5) == 0.5
+        assert clamp_epsilon(0.01, floor=0.05) == 0.05
+
+    def test_homogeneity_of_boolean_combination(self, rng):
+        """Randomized: the computed ε really is homogeneous for combos."""
+        for _ in range(200):
+            point = {"x": rng.uniform(0.1, 1.0), "y": rng.uniform(0.1, 1.0)}
+            pred = (
+                (col("x") + col("y") >= lit(rng.uniform(-1, 2)))
+                & (col("x") - col("y") <= lit(rng.uniform(-1, 2)))
+            ) | (col("y") >= lit(rng.uniform(0, 2)))
+            truth = pred.evaluate(point)
+            eps = epsilon_for_predicate(pred, point)
+            if eps == 0 or math.isinf(eps):
+                continue
+            box = Orthotope(point, min(eps, EPS_CAP) * 0.999)
+            for _ in range(20):
+                assert pred.evaluate(box.sample(rng)) == truth

@@ -1,0 +1,201 @@
+"""Tests for Theorem 5.5 (corner method) and Definition 5.6 (singularities)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.core.intervals import Orthotope
+from repro.core.linear import EPS_CAP, epsilon_for_predicate
+from repro.core.readonce import (
+    ReadOnceError,
+    check_read_once,
+    corners_agree,
+    duplicate_variables,
+    epsilon_by_corners,
+    is_read_once,
+)
+from repro.core.singularity import (
+    is_singularity,
+    is_singularity_by_corners,
+    singularity_radius,
+)
+
+
+class TestReadOnceDetection:
+    def test_read_once_accepts(self):
+        assert is_read_once((col("x") * col("y")) / col("z") >= lit(1))
+
+    def test_repeated_variable_rejected(self):
+        pred = (col("x") / col("y")) >= col("x")
+        assert not is_read_once(pred)
+        with pytest.raises(ReadOnceError, match="x"):
+            check_read_once(pred)
+
+    def test_repetition_across_atoms_counts(self):
+        pred = (col("x") >= lit(0)) & (col("x") <= lit(1))
+        assert not is_read_once(pred)
+
+    def test_duplicate_variables_rewrite(self):
+        pred = (col("x") + col("x")) >= lit(1)
+        new_pred, new_point, aliases = duplicate_variables(pred, {"x": 0.6})
+        assert is_read_once(new_pred)
+        assert len(aliases) == 2
+        assert all(new_point[a] == 0.6 for a in aliases)
+        assert set(aliases.values()) == {"x"}
+
+    def test_duplicate_variables_keeps_unique_vars(self):
+        pred = (col("x") + col("y")) >= lit(1)
+        new_pred, _, aliases = duplicate_variables(pred, {"x": 1, "y": 2})
+        assert aliases == {}
+        assert new_pred == pred
+
+
+class TestCornerMethod:
+    def test_agrees_with_closed_form_on_linear_atoms(self):
+        """Theorem 5.5's binary search must land on the Theorem 5.2 ε."""
+        cases = [
+            ((col("x") - lit(0.5) * col("y")) >= lit(0), {"x": 0.5, "y": 0.5}),
+            ((col("x") + col("y")) >= lit(0.6), {"x": 0.5, "y": 0.5}),
+            ((col("x") - col("y")) >= lit(0.5), {"x": 1.2, "y": 0.2}),
+            (col("x") >= lit(0.25), {"x": 0.5}),
+        ]
+        for pred, point in cases:
+            closed = epsilon_for_predicate(pred, point)
+            searched = epsilon_by_corners(pred, point)
+            assert searched == pytest.approx(min(closed, EPS_CAP), abs=1e-6)
+
+    def test_ratio_predicate(self):
+        """x/y ≥ c is read-once; Example 5.4 computes its linear ε = 1/3."""
+        pred = (col("x") / col("y")) >= lit(0.5)
+        eps = epsilon_by_corners(pred, {"x": 0.5, "y": 0.5})
+        assert eps == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_product_predicate_homogeneous(self, rng):
+        pred = (col("x") * col("y")) >= lit(0.2)
+        point = {"x": 0.8, "y": 0.5}
+        eps = epsilon_by_corners(pred, point)
+        assert eps > 0
+        box = Orthotope(point, eps * 0.999)
+        for _ in range(100):
+            s = box.sample(rng)
+            assert s["x"] * s["y"] >= 0.2 - 1e-9
+
+    def test_maximality(self):
+        pred = (col("x") * col("y")) >= lit(0.2)
+        point = {"x": 0.8, "y": 0.5}
+        eps = epsilon_by_corners(pred, point)
+        assert not corners_agree(pred, point, min(eps * 1.01, EPS_CAP))
+
+    def test_read_once_boolean_combination(self, rng):
+        pred = ((col("x") * col("y")) >= lit(0.1)) & (col("z") <= lit(0.9))
+        point = {"x": 0.6, "y": 0.5, "z": 0.4}
+        eps = epsilon_by_corners(pred, point)
+        assert eps > 0
+        box = Orthotope(point, eps * 0.999)
+        for _ in range(50):
+            assert pred.evaluate(box.sample(rng)) is True
+
+    def test_false_predicate_orientation(self):
+        pred = (col("x") * col("y")) >= lit(0.9)
+        point = {"x": 0.5, "y": 0.5}
+        assert pred.evaluate(point) is False
+        eps = epsilon_by_corners(pred, point)
+        assert eps > 0
+        assert corners_agree(pred, point, eps * 0.99)
+
+    def test_rejects_repeated_variables(self):
+        with pytest.raises(ReadOnceError):
+            epsilon_by_corners((col("x") + col("x")) >= lit(1), {"x": 1.0})
+
+    def test_rejects_nonpositive_under_division(self):
+        pred = (lit(1) / col("x")) >= lit(1)
+        with pytest.raises(ValueError, match="positive"):
+            epsilon_by_corners(pred, {"x": 0.0})
+
+    def test_singular_point_gives_zero(self):
+        pred = col("x") >= lit(0.5)
+        assert epsilon_by_corners(pred, {"x": 0.5}) == 0.0
+
+    def test_constant_predicate(self):
+        assert epsilon_by_corners(lit(1) >= lit(0), {}) == EPS_CAP
+
+    def test_negation_handled_via_nnf(self):
+        pred = ~((col("x") * col("y")) < lit(0.2))
+        point = {"x": 0.8, "y": 0.5}
+        eps = epsilon_by_corners(pred, point)
+        reference = epsilon_by_corners((col("x") * col("y")) >= lit(0.2), point)
+        assert eps == pytest.approx(reference, abs=1e-9)
+
+
+class TestSingularity:
+    def test_atom_radius_closed_form(self):
+        """Radius = |α−b| / Σ|aᵢpᵢ| for the multiplicative box."""
+        pred = col("x") >= lit(0.4)
+        assert singularity_radius(pred, {"x": 0.5}) == pytest.approx(0.1 / 0.5)
+
+    def test_definition_56(self):
+        pred = col("x") >= lit(0.4)
+        point = {"x": 0.5}
+        assert is_singularity(pred, point, eps0=0.25)
+        assert not is_singularity(pred, point, eps0=0.15)
+
+    def test_exact_boundary_is_always_singular(self):
+        pred = col("x") >= lit(0.5)
+        assert is_singularity(pred, {"x": 0.5}, eps0=1e-12)
+
+    def test_example_57_certainty(self):
+        """Tuple certainty (confidence = 1) is singular whenever true."""
+        pred = col("p") >= lit(1)
+        assert is_singularity(pred, {"p": 1.0}, eps0=0.001)
+        assert not is_singularity(pred, {"p": 0.9}, eps0=0.05)
+
+    def test_equality_predicate(self):
+        pred = col("x").eq(0.5)
+        assert singularity_radius(pred, {"x": 0.5}) == 0.0
+        assert singularity_radius(pred, {"x": 1.0}) == pytest.approx(0.5)
+
+    def test_boolean_combination_min_on_true_conjunction(self):
+        pred = (col("x") >= lit(0.4)) & (col("x") <= lit(0.7))
+        # at x=0.5: radii 0.2 and 0.4 → min 0.2
+        assert singularity_radius(pred, {"x": 0.5}) == pytest.approx(0.2)
+
+    def test_corner_check_agrees_with_closed_form(self):
+        pred = (col("x") + col("y")) >= lit(0.6)
+        point = {"x": 0.5, "y": 0.5}
+        radius = singularity_radius(pred, point)
+        assert is_singularity_by_corners(pred, point, radius * 1.05)
+        assert not is_singularity_by_corners(pred, point, radius * 0.95)
+
+    def test_corner_check_nonlinear(self):
+        pred = (col("x") * col("y")) >= lit(0.25)
+        point = {"x": 0.5, "y": 0.5}  # exactly on the boundary
+        assert is_singularity_by_corners(pred, point, 0.01)
+
+    def test_constant_never_singular(self):
+        assert singularity_radius(lit(1) >= lit(0), {}) == math.inf
+        assert not is_singularity_by_corners(lit(1) >= lit(0), {}, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            is_singularity(col("x") >= lit(0), {"x": 1}, -0.1)
+        with pytest.raises(ValueError):
+            is_singularity_by_corners(col("x") >= lit(0), {"x": 1}, -0.1)
+
+    def test_radius_matches_flip_distance(self, rng):
+        """Randomized: just inside the radius no flip exists on corners;
+        just outside one does (linear atoms)."""
+        for _ in range(100):
+            a = rng.uniform(-2, 2) or 1.0
+            b = rng.uniform(-1, 1)
+            x = rng.uniform(0.1, 1.0)
+            pred = lit(a) * col("x") >= lit(b)
+            point = {"x": x}
+            radius = singularity_radius(pred, point)
+            if radius == 0 or math.isinf(radius):
+                continue
+            assert not is_singularity_by_corners(pred, point, radius * 0.98)
+            assert is_singularity_by_corners(pred, point, radius * 1.02)

@@ -1,0 +1,211 @@
+"""Tests for approximable values, including the online-aggregation extension.
+
+Section 5's closing remark: the predicate-approximation results extend
+beyond Karp–Luby confidences, "conceivably ... to areas such as online
+aggregation".  These tests exercise the generalized value interface and
+the HAVING-style use of Figure 3 over running means.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.core import (
+    ExactValue,
+    HoeffdingMeanValue,
+    KarpLubyValue,
+    approximate_predicate,
+    as_approximable,
+)
+from repro.generators.hard import chain_dnf
+from repro.urel.conditions import Condition
+from repro.urel.variables import VariableTable
+
+
+class TestExactValue:
+    def test_properties(self):
+        v = ExactValue(0.4)
+        assert v.is_exact
+        assert v.estimate == 0.4
+        assert v.trials == 0
+        assert v.error_bound(0.01) == 0.0
+        v.refine()  # no-op
+        assert v.trials == 0
+
+
+class TestKarpLubyValue:
+    def test_wraps_sampler(self):
+        d = chain_dnf(4)
+        v = KarpLubyValue(d, rng=1)
+        assert not v.is_exact
+        assert v.dnf is d
+        v.refine()
+        assert v.trials == d.size  # one Figure 3 round = |F| trials
+        assert 0.0 <= v.estimate <= float(d.total_weight)
+
+    def test_exact_degenerate(self):
+        w = VariableTable()
+        w.add("X", {1: Fraction(1, 3), 0: Fraction(2, 3)})
+        v = KarpLubyValue(__import__("repro.confidence.dnf", fromlist=["Dnf"]).Dnf(
+            [Condition({"X": 1})], w
+        ))
+        assert v.is_exact
+        assert v.estimate == pytest.approx(1 / 3)
+
+
+class TestCoercion:
+    def test_dnf_coerces(self):
+        v = as_approximable(chain_dnf(3), rng=2)
+        assert isinstance(v, KarpLubyValue)
+
+    def test_number_coerces(self):
+        v = as_approximable(0.7)
+        assert isinstance(v, ExactValue)
+
+    def test_passthrough(self):
+        v = ExactValue(1.0)
+        assert as_approximable(v) is v
+
+    def test_junk_rejected(self):
+        with pytest.raises(TypeError):
+            as_approximable("0.5")
+
+
+class TestHoeffdingMeanValue:
+    def _uniform_value(self, mean: float, half_width: float = 0.2, **kw):
+        return HoeffdingMeanValue(
+            lambda rng: rng.uniform(mean - half_width, mean + half_width),
+            value_range=(mean - half_width, mean + half_width),
+            **kw,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            HoeffdingMeanValue(lambda r: 0.0, value_range=(1.0, 1.0))
+        with pytest.raises(ValueError, match="batch_size"):
+            self._uniform_value(0.5, batch_size=0)
+
+    def test_needs_samples_before_estimate(self):
+        v = self._uniform_value(0.5, rng=1)
+        with pytest.raises(RuntimeError, match="no samples"):
+            _ = v.estimate
+
+    def test_out_of_range_sample_rejected(self):
+        v = HoeffdingMeanValue(lambda r: 2.0, value_range=(0.0, 1.0), rng=1)
+        with pytest.raises(ValueError, match="outside"):
+            v.refine()
+
+    def test_estimate_converges(self):
+        v = self._uniform_value(0.6, rng=3, batch_size=256)
+        for _ in range(40):
+            v.refine()
+        assert v.estimate == pytest.approx(0.6, abs=0.02)
+        assert v.trials == 40 * 256
+
+    def test_error_bound_is_hoeffding(self):
+        v = self._uniform_value(0.5, rng=4, batch_size=100)
+        v.refine()
+        eps = 0.1
+        t = eps * v.estimate / (1 + eps)
+        spread = 0.4
+        expected = min(1.0, 2 * math.exp(-2 * 100 * t * t / (spread * spread)))
+        assert v.error_bound(eps) == pytest.approx(expected)
+
+    def test_bound_tightens_with_samples(self):
+        v = self._uniform_value(0.5, rng=5)
+        v.refine()
+        loose = v.error_bound(0.1)
+        for _ in range(30):
+            v.refine()
+        assert v.error_bound(0.1) < loose
+
+    def test_vacuous_bounds(self):
+        v = self._uniform_value(0.5, rng=6)
+        assert v.error_bound(0.1) == 1.0  # no samples yet
+        v.refine()
+        assert v.error_bound(0.0) == 1.0
+
+    def test_bound_statistically_valid(self):
+        """Pr[|p̂ − µ| ≥ ε·µ] must be ≤ δ(ε) empirically."""
+        mean, eps = 0.5, 0.08
+        misses, runs = 0, 120
+        deltas = []
+        for seed in range(runs):
+            v = self._uniform_value(mean, rng=seed, batch_size=64)
+            for _ in range(4):
+                v.refine()
+            deltas.append(v.error_bound(eps))
+            if abs(v.estimate - mean) >= eps * mean:
+                misses += 1
+        assert misses / runs <= max(0.05, 2 * sum(deltas) / runs)
+
+
+class TestOnlineAggregationHaving:
+    """Figure 3 deciding a HAVING predicate over a running average."""
+
+    def test_having_decision(self):
+        # Population mean 0.55; HAVING avg >= 0.4 should accept.
+        avg = HoeffdingMeanValue(
+            lambda rng: rng.uniform(0.35, 0.75),
+            value_range=(0.35, 0.75),
+            rng=11,
+            batch_size=64,
+        )
+        decision = approximate_predicate(
+            col("avg") >= lit(0.4), {"avg": avg}, eps0=0.03, delta=0.05
+        )
+        assert decision.value is True
+        assert decision.error_bound <= 0.05
+        assert not decision.suspected_singularity
+
+    def test_having_rejects(self):
+        avg = HoeffdingMeanValue(
+            lambda rng: rng.uniform(0.1, 0.3),
+            value_range=(0.1, 0.3),
+            rng=12,
+            batch_size=64,
+        )
+        decision = approximate_predicate(
+            col("avg") >= lit(0.5), {"avg": avg}, eps0=0.03, delta=0.05
+        )
+        assert decision.value is False
+
+    def test_mixed_confidence_and_aggregate(self):
+        """One Karp–Luby confidence and one running mean in one predicate."""
+        from repro.confidence import probability_by_decomposition
+
+        dnf = chain_dnf(4)
+        p = float(probability_by_decomposition(dnf))
+        avg = HoeffdingMeanValue(
+            lambda rng: rng.uniform(0.4, 0.6),
+            value_range=(0.4, 0.6),
+            rng=13,
+            batch_size=32,
+        )
+        pred = (col("p") + col("avg")) >= lit((p + 0.5) * 0.7)
+        decision = approximate_predicate(
+            pred, {"p": dnf, "avg": avg}, eps0=0.03, delta=0.1, rng=14
+        )
+        assert decision.value is True
+        assert set(decision.estimates) == {"p", "avg"}
+
+    def test_near_boundary_costs_more(self):
+        def run(threshold):
+            avg = HoeffdingMeanValue(
+                lambda rng: rng.uniform(0.4, 0.6),
+                value_range=(0.4, 0.6),
+                rng=15,
+                batch_size=32,
+            )
+            return approximate_predicate(
+                col("avg") >= lit(threshold), {"avg": avg}, eps0=0.01, delta=0.1
+            )
+
+        far = run(0.30)
+        near = run(0.47)
+        assert near.rounds > far.rounds

@@ -1,0 +1,178 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These pin the core mathematical invariants the paper's machinery rests
+on, over randomly generated inputs:
+
+* confidence is a probability and is monotone under adding clauses;
+* the two exact solvers agree and bound the Karp–Luby M from below;
+* ε-homogeneity: predicates are constant on the computed orthotope;
+* the singularity radius separates flip / no-flip regions;
+* error accounting never loses error mass through relational operators.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import col, lit
+from repro.confidence import Dnf, probability_by_decomposition
+from repro.core import (
+    Orthotope,
+    clamp_epsilon,
+    epsilon_for_predicate,
+    singularity_radius,
+)
+from repro.urel.conditions import Condition
+from repro.urel.variables import VariableTable
+
+
+def _table(n_vars: int, p: Fraction = Fraction(1, 2)) -> VariableTable:
+    w = VariableTable()
+    for i in range(n_vars):
+        w.add(("x", i), {1: p, 0: 1 - p})
+    return w
+
+
+@st.composite
+def clause_sets(draw):
+    n_vars = draw(st.integers(2, 5))
+    w = _table(n_vars, Fraction(1, 3))
+    n_clauses = draw(st.integers(1, 5))
+    clauses = []
+    for _ in range(n_clauses):
+        size = draw(st.integers(1, min(3, n_vars)))
+        variables = draw(
+            st.lists(st.integers(0, n_vars - 1), min_size=size, max_size=size,
+                     unique=True)
+        )
+        clauses.append(
+            Condition({("x", v): draw(st.integers(0, 1)) for v in variables})
+        )
+    return w, clauses
+
+
+class TestConfidenceInvariants:
+    @given(clause_sets())
+    @settings(max_examples=60)
+    def test_probability_in_unit_interval(self, data):
+        w, clauses = data
+        p = probability_by_decomposition(Dnf(clauses, w))
+        assert 0 <= p <= 1
+
+    @given(clause_sets())
+    @settings(max_examples=60)
+    def test_monotone_under_adding_clauses(self, data):
+        """Adding a disjunct can only increase the probability."""
+        w, clauses = data
+        base = probability_by_decomposition(Dnf(clauses[:-1], w))
+        extended = probability_by_decomposition(Dnf(clauses, w))
+        assert extended >= base
+
+    @given(clause_sets())
+    @settings(max_examples=60)
+    def test_union_bound(self, data):
+        """p ≤ M = Σ p_f and p ≥ max p_f (disjunction bounds)."""
+        w, clauses = data
+        dnf = Dnf(clauses, w)
+        p = probability_by_decomposition(dnf)
+        assert p <= dnf.total_weight
+        assert p >= max(dnf.weights)
+
+
+class TestEpsilonInvariants:
+    @given(
+        st.floats(0.05, 2.0), st.floats(0.05, 2.0),
+        st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2),
+        st.integers(0, 2 ** 32 - 1),
+    )
+    @settings(max_examples=150)
+    def test_orthotope_homogeneity(self, px, py, ax, ay, b, seed):
+        import random
+
+        pred = (lit(ax) * col("x") + lit(ay) * col("y")) >= lit(b)
+        point = {"x": px, "y": py}
+        truth = pred.evaluate(point)
+        eps = epsilon_for_predicate(pred, point)
+        if eps <= 0 or math.isinf(eps):
+            return
+        box = Orthotope(point, clamp_epsilon(eps) * 0.999)
+        rng = random.Random(seed)
+        for _ in range(10):
+            assert pred.evaluate(box.sample(rng)) == truth
+
+    @given(
+        st.floats(0.05, 2.0), st.floats(-2, 2), st.floats(-2, 2)
+    )
+    @settings(max_examples=150)
+    def test_singularity_radius_separates(self, px, a, b):
+        if a == 0:
+            return
+        pred = lit(a) * col("x") >= lit(b)
+        point = {"x": px}
+        radius = singularity_radius(pred, point)
+        if radius <= 0 or math.isinf(radius):
+            return
+        truth = pred.evaluate(point)
+        # inside the radius: no flip at the box corners
+        for eps in (radius * 0.9,):
+            for x in (px * (1 - eps), px * (1 + eps)):
+                assert pred.evaluate({"x": x}) == truth
+        # just beyond: a flip exists at some corner
+        eps = radius * 1.1
+        flips = [
+            pred.evaluate({"x": px * (1 - eps)}) != truth,
+            pred.evaluate({"x": px * (1 + eps)}) != truth,
+        ]
+        assert any(flips)
+
+    @given(st.floats(0.05, 2.0), st.floats(0.05, 2.0))
+    @settings(max_examples=80)
+    def test_epsilon_at_most_singularity_scale(self, px, tau):
+        """Both radii vanish together exactly at the boundary."""
+        pred = col("x") >= lit(tau)
+        point = {"x": px}
+        eps = epsilon_for_predicate(pred, point)
+        radius = singularity_radius(pred, point)
+        assert (eps == 0) == (radius == 0) == (px == tau)
+
+
+class TestAccountingInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.sampled_from([Fraction(1, 2), Fraction(1, 4)])),
+            min_size=1,
+            max_size=5,
+            unique_by=lambda t: t[0],
+        ),
+        st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_project_never_loses_error_mass(self, rows, seed):
+        """After σ̂ + π, the single output bound equals the capped sum of
+        the per-decision bounds (Lemma 6.4 union bound, no leakage)."""
+        from repro.algebra.builder import query, rel
+        from repro.core import ApproxQueryEvaluator
+        from repro.generators.tpdb import tuple_independent
+
+        # two conditioned rows per key → stochastic decisions
+        data = [((f"k{k}",), p) for k, p in rows] + [
+            ((f"k{k}",), p) for k, p in rows
+        ]
+        # tuple_independent dedups identical (values, prob) rows? no —
+        # each row gets a fresh variable, duplicates allowed:
+        db = tuple_independent("R", ("K",), data)
+        q = (
+            rel("R")
+            .approx_select(col("P1") >= lit(0.0), groups=[["K"]])
+            .project([(lit("out"), "O")])
+        )
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=5, rng=seed)
+        out = evaluator.evaluate(query(q))
+        per_decision = [r.decision.error_bound for r in evaluator.decision_log]
+        total = min(1.0, sum(per_decision))
+        bounds = list(out.mu.values())
+        assert len(bounds) == 1
+        assert abs(bounds[0] - total) < 1e-9

@@ -1,0 +1,287 @@
+"""Tests for the possible-worlds engine: databases, repair-key, evaluation.
+
+This engine is Definition 2.1 executed literally, so these tests pin the
+paper's semantics — including the full Example 2.2 numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.builder import literal, query, rel
+from repro.algebra.expressions import col, lit
+from repro.algebra.relations import Relation
+from repro.generators.coins import (
+    coin_worlds_database,
+    evidence_query,
+    pick_coin_query,
+    posterior_query,
+    toss_query,
+)
+from repro.worlds import (
+    EvaluationError,
+    PossibleWorldsDB,
+    RepairError,
+    World,
+    combine,
+    evaluate,
+    evaluate_certain,
+    evaluate_worlds,
+    key_repairs,
+)
+
+
+def _db_one(name: str, rel_: Relation) -> PossibleWorldsDB:
+    return PossibleWorldsDB.certain({name: rel_})
+
+
+class TestPossibleWorldsDB:
+    def test_probabilities_must_sum_to_one(self):
+        r = Relation.from_rows(("A",), [(1,)])
+        w1 = World({"R": r}, Fraction(1, 2))
+        with pytest.raises(ValueError, match="sum to 1"):
+            PossibleWorldsDB((w1,))
+
+    def test_zero_probability_world_rejected(self):
+        r = Relation.from_rows(("A",), [(1,)])
+        with pytest.raises(ValueError, match="in \\(0, 1\\]"):
+            World({"R": r}, Fraction(0))
+
+    def test_mismatched_relation_names_rejected(self):
+        r = Relation.from_rows(("A",), [(1,)])
+        w1 = World({"R": r}, Fraction(1, 2))
+        w2 = World({"S": r}, Fraction(1, 2))
+        with pytest.raises(ValueError, match="same relation names"):
+            PossibleWorldsDB((w1, w2))
+
+    def test_complete_must_agree(self):
+        r1 = Relation.from_rows(("A",), [(1,)])
+        r2 = Relation.from_rows(("A",), [(2,)])
+        w1 = World({"R": r1}, Fraction(1, 2))
+        w2 = World({"R": r2}, Fraction(1, 2))
+        with pytest.raises(ValueError, match="complete"):
+            PossibleWorldsDB((w1, w2), frozenset({"R"}))
+
+    def test_tuple_confidence(self):
+        r1 = Relation.from_rows(("A",), [(1,)])
+        r2 = Relation.from_rows(("A",), [(1,), (2,)])
+        db = PossibleWorldsDB(
+            (World({"R": r1}, Fraction(1, 4)), World({"R": r2}, Fraction(3, 4)))
+        )
+        assert db.tuple_confidence("R", (1,)) == 1
+        assert db.tuple_confidence("R", (2,)) == Fraction(3, 4)
+        assert db.tuple_confidence("R", (9,)) == 0
+
+    def test_poss_and_cert(self):
+        r1 = Relation.from_rows(("A",), [(1,)])
+        r2 = Relation.from_rows(("A",), [(1,), (2,)])
+        db = PossibleWorldsDB(
+            (World({"R": r1}, Fraction(1, 2)), World({"R": r2}, Fraction(1, 2)))
+        )
+        assert db.possible_tuples("R").rows == {(1,), (2,)}
+        assert db.certain_tuples("R").rows == {(1,)}
+
+    def test_confidence_relation(self):
+        r1 = Relation.from_rows(("A",), [(1,)])
+        r2 = Relation.from_rows(("A",), [(2,)])
+        db = PossibleWorldsDB(
+            (World({"R": r1}, Fraction(1, 3)), World({"R": r2}, Fraction(2, 3)))
+        )
+        conf = db.confidence_relation("R")
+        assert conf.rows == {(1, Fraction(1, 3)), (2, Fraction(2, 3))}
+
+    def test_combine_product_probabilities(self):
+        a = _db_one("R", Relation.from_rows(("A",), [(1,)]))
+        b = _db_one("S", Relation.from_rows(("B",), [(2,)]))
+        both = combine(a, b)
+        assert both.n_worlds() == 1
+        assert both.relation_names == {"R", "S"}
+
+    def test_combine_name_clash_rejected(self):
+        a = _db_one("R", Relation.from_rows(("A",), [(1,)]))
+        with pytest.raises(ValueError, match="disjoint"):
+            combine(a, a)
+
+    def test_merged_sums_probabilities(self):
+        r = Relation.from_rows(("A",), [(1,)])
+        db = PossibleWorldsDB(
+            (World({"R": r}, Fraction(1, 2)), World({"R": r}, Fraction(1, 2)))
+        )
+        assert db.merged().n_worlds() == 1
+
+
+class TestKeyRepairs:
+    def test_empty_key_picks_one_tuple(self):
+        rel_ = Relation.from_rows(("T", "W"), [("a", 2), ("b", 1)])
+        repairs = key_repairs(rel_, (), "W")
+        probs = {next(iter(r.rows))[0]: p for r, p in repairs}
+        assert probs == {"a": Fraction(2, 3), "b": Fraction(1, 3)}
+
+    def test_group_count_multiplies(self):
+        rel_ = Relation.from_rows(
+            ("K", "V", "W"), [(1, "a", 1), (1, "b", 1), (2, "c", 1), (2, "d", 3)]
+        )
+        repairs = key_repairs(rel_, ("K",), "W")
+        assert len(repairs) == 4
+        assert sum(p for _, p in repairs) == 1
+
+    def test_probabilities_proportional_to_weights(self):
+        rel_ = Relation.from_rows(("K", "V", "W"), [(1, "a", 1), (1, "b", 3)])
+        repairs = {next(iter(r.rows))[1]: p for r, p in key_repairs(rel_, ("K",), "W")}
+        assert repairs["a"] == Fraction(1, 4)
+        assert repairs["b"] == Fraction(3, 4)
+
+    def test_each_repair_satisfies_key(self):
+        rel_ = Relation.from_rows(
+            ("K", "V", "W"), [(1, "a", 1), (1, "b", 1), (2, "c", 2)]
+        )
+        for repaired, _p in key_repairs(rel_, ("K",), "W"):
+            keys = [row[0] for row in repaired.rows]
+            assert len(keys) == len(set(keys))
+
+    def test_nonpositive_weight_rejected(self):
+        rel_ = Relation.from_rows(("K", "W"), [(1, 0)])
+        with pytest.raises(RepairError, match="> 0"):
+            key_repairs(rel_, ("K",), "W")
+
+    def test_non_numeric_weight_rejected(self):
+        rel_ = Relation.from_rows(("K", "W"), [(1, "heavy")])
+        with pytest.raises(RepairError):
+            key_repairs(rel_, ("K",), "W")
+
+    def test_empty_relation_single_empty_repair(self):
+        rel_ = Relation(("K", "W"), frozenset())
+        repairs = key_repairs(rel_, ("K",), "W")
+        assert len(repairs) == 1
+        assert repairs[0][1] == 1
+
+    def test_explosion_guard(self):
+        rows = [(i, v, 1) for i in range(30) for v in ("x", "y")]
+        rel_ = Relation.from_rows(("K", "V", "W"), rows)
+        with pytest.raises(RepairError, match="limit"):
+            key_repairs(rel_, ("K",), "W", max_repairs=1000)
+
+
+class TestEvaluation:
+    def test_select_applied_per_world(self):
+        r1 = Relation.from_rows(("A",), [(1,)])
+        r2 = Relation.from_rows(("A",), [(2,)])
+        db = PossibleWorldsDB(
+            (World({"R": r1}, Fraction(1, 2)), World({"R": r2}, Fraction(1, 2)))
+        )
+        results = evaluate_worlds(query(rel("R").select(col("A").eq(1))), db)
+        sizes = sorted(len(r) for r, _ in results)
+        assert sizes == [0, 1]
+
+    def test_difference_general_allowed_here(self):
+        r1 = Relation.from_rows(("A",), [(1,), (2,)])
+        r2 = Relation.from_rows(("A",), [(1,)])
+        db = PossibleWorldsDB(
+            (
+                World({"R": r1, "S": r2}, Fraction(1, 2)),
+                World({"R": r2, "S": r2}, Fraction(1, 2)),
+            )
+        )
+        results = evaluate_worlds(query(rel("R") - rel("S")), db)
+        sizes = sorted(len(r) for r, _ in results)
+        assert sizes == [0, 1]
+
+    def test_repair_key_requires_complete(self, coin_pwdb):
+        picked = pick_coin_query()
+        db1 = evaluate(query(picked), coin_pwdb, "R")
+        again = rel("R").repair_key([], weight="CoinType")
+        with pytest.raises(RepairError, match="complete"):
+            evaluate_worlds(query(again), db1)
+
+    def test_unknown_relation(self, coin_pwdb):
+        with pytest.raises(EvaluationError, match="unknown"):
+            evaluate_worlds(query(rel("Nope")), coin_pwdb)
+
+    def test_literal_is_complete(self, coin_pwdb):
+        lit_q = literal(["Toss"], [[1], [2]])
+        out = evaluate_certain(query(lit_q), coin_pwdb)
+        assert out.rows == {(1,), (2,)}
+
+    def test_conf_adds_complete_relation(self, coin_pwdb):
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        conf_rel = evaluate_certain(query(rel("R").conf()), db1)
+        assert conf_rel.rows == {
+            ("fair", Fraction(2, 3)),
+            ("2headed", Fraction(1, 3)),
+        }
+
+    def test_poss_cert_operators(self, coin_pwdb):
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        poss = evaluate_certain(query(rel("R").poss()), db1)
+        cert = evaluate_certain(query(rel("R").cert()), db1)
+        assert poss.rows == {("fair",), ("2headed",)}
+        assert cert.rows == set()
+
+    def test_evaluate_certain_rejects_uncertain(self, coin_pwdb):
+        with pytest.raises(EvaluationError, match="not certain"):
+            evaluate_certain(query(pick_coin_query()), coin_pwdb)
+
+    def test_world_limit_guard(self, coin_pwdb):
+        with pytest.raises(EvaluationError, match="expand"):
+            evaluate_worlds(query(toss_query(2)), coin_pwdb, max_worlds=2)
+
+
+class TestExample22:
+    """The paper's Example 2.2, numbers checked exactly."""
+
+    def test_r_has_two_worlds_with_paper_probabilities(self, coin_pwdb):
+        results = evaluate_worlds(query(pick_coin_query()), coin_pwdb)
+        summary = {next(iter(r.rows))[0]: p for r, p in results}
+        assert summary == {"fair": Fraction(2, 3), "2headed": Fraction(1, 3)}
+
+    def test_s_has_eight_worlds(self, coin_pwdb):
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        db2 = evaluate(query(toss_query(2)), db1, "S")
+        assert db2.n_worlds() == 8
+
+    def test_world_probability_example(self, coin_pwdb):
+        """World with R=fair, S=all-heads has probability 2/3 · 1/4 = 1/6."""
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        db2 = evaluate(query(toss_query(2)), db1, "S")
+        target = 0
+        for w in db2.worlds:
+            if next(iter(w.relation("R").rows))[0] != "fair":
+                continue
+            s = w.relation("S")
+            if {("fair", 1, "H"), ("fair", 2, "H")} <= s.rows:
+                target += w.probability
+        assert target == Fraction(1, 6)
+
+    def test_posterior_table_u(self, coin_pwdb):
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        db2 = evaluate(query(toss_query(2)), db1, "S")
+        db3 = evaluate(query(evidence_query(["H", "H"])), db2, "T")
+        u = evaluate_certain(query(posterior_query()), db3)
+        assert u.rows == {
+            ("fair", Fraction(1, 3)),
+            ("2headed", Fraction(2, 3)),
+        }
+
+    def test_posterior_flips_prior(self, coin_pwdb):
+        """Prior favours fair (2/3); two heads flip the posterior to 1/3."""
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        prior = evaluate_certain(query(rel("R").conf()), db1)
+        prior_fair = {r[0]: r[1] for r in prior.rows}["fair"]
+        assert prior_fair == Fraction(2, 3)
+
+    def test_single_toss_evidence(self, coin_pwdb):
+        """One head: posterior fair = (2/3·1/2)/(2/3·1/2+1/3) = 1/2."""
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        db2 = evaluate(query(toss_query(1)), db1, "S")
+        db3 = evaluate(query(evidence_query(["H"])), db2, "T")
+        u = evaluate_certain(query(posterior_query()), db3)
+        assert ("fair", Fraction(1, 2)) in u.rows
+
+    def test_tail_evidence_excludes_2headed(self, coin_pwdb):
+        db1 = evaluate(query(pick_coin_query()), coin_pwdb, "R")
+        db2 = evaluate(query(toss_query(1)), db1, "S")
+        db3 = evaluate(query(evidence_query(["T"])), db2, "T")
+        u = evaluate_certain(query(posterior_query()), db3)
+        assert u.rows == {("fair", Fraction(1, 1))}

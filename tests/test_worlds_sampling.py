@@ -1,0 +1,91 @@
+"""Tests for the query-level Monte-Carlo world sampler (MystiQ-style baseline)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.builder import rel
+from repro.algebra.expressions import col
+from repro.generators.coins import coin_database, pick_coin_query, toss_query
+from repro.generators.tpdb import tuple_independent
+from repro.urel import USession, UEvaluator
+from repro.worlds.sampling import sample_world, sampled_query_confidences
+
+
+class TestSampleWorld:
+    def test_assignment_covers_all_variables(self, rng):
+        db = tuple_independent(
+            "R", ("A",), [((f"t{i}",), Fraction(1, 2)) for i in range(5)]
+        )
+        world = sample_world(db, rng)
+        assert set(world) == set(db.w.variables)
+
+    def test_values_come_from_domains(self, rng):
+        db = tuple_independent("R", ("A",), [(("t",), Fraction(1, 3))])
+        for _ in range(20):
+            world = sample_world(db, rng)
+            for var, value in world.items():
+                assert value in db.w.domain(var)
+
+
+class TestSampledConfidences:
+    def test_converges_to_exact(self):
+        db = tuple_independent(
+            "R",
+            ("A", "B"),
+            [(("a", 1), Fraction(1, 2)), (("a", 2), Fraction(1, 2)),
+             (("b", 1), Fraction(1, 4))],
+        )
+        q = rel("R").project(["A"])
+        estimates = sampled_query_confidences(q, db, samples=4000, rng=7)
+        exact = UEvaluator(db, copy_db=True).evaluate(q.conf().q).relation
+        for _cond, vals in exact.rows:
+            row, p = vals[:-1], float(vals[-1])
+            assert estimates.confidence(row) == pytest.approx(p, abs=0.04)
+
+    def test_counts_and_relation_output(self):
+        db = tuple_independent("R", ("A",), [(("a",), 1)])
+        estimates = sampled_query_confidences(rel("R"), db, samples=50, rng=1)
+        assert estimates.confidence(("a",)) == 1.0
+        out = estimates.as_relation()
+        assert out.columns == ("A", "P")
+        assert (("a", 1.0)) in out.rows
+
+    def test_join_query(self):
+        db = tuple_independent("R", ("A", "B"), [(("a", 1), Fraction(1, 2))])
+        from repro.generators.tpdb import add_tuple_independent
+
+        add_tuple_independent(db, "S", ("B",), [((1,), Fraction(1, 2))])
+        q = rel("R").join(rel("S"))
+        estimates = sampled_query_confidences(q, db, samples=4000, rng=3)
+        assert estimates.confidence(("a", 1)) == pytest.approx(0.25, abs=0.03)
+
+    def test_repair_key_rejected(self):
+        db = coin_database()
+        with pytest.raises(ValueError, match="repair-key"):
+            sampled_query_confidences(pick_coin_query(), db, samples=10, rng=1)
+
+    def test_session_then_sample(self):
+        """Paper-style: repair-keys in the session, sampling afterwards."""
+        db = coin_database()
+        session = USession(db)
+        session.assign("R", pick_coin_query())
+        session.assign("S", toss_query(2))
+        # Join with R: S alone lists outcomes for *all* coin types (the
+        # paper's S1–S4 contain 2headed rows even in fair worlds).
+        q = (
+            rel("R")
+            .join(rel("S").select(col("Face").eq("H")).project(["CoinType"]))
+        )
+        estimates = sampled_query_confidences(q, db, samples=3000, rng=5)
+        # Pr[fair chosen ∧ some fair toss H] = 2/3 · 3/4 = 1/2
+        assert estimates.confidence(("fair",)) == pytest.approx(0.5, abs=0.04)
+        # Pr[2headed chosen] = 1/3 (it always shows heads).
+        assert estimates.confidence(("2headed",)) == pytest.approx(1 / 3, abs=0.04)
+
+    def test_samples_validation(self):
+        db = tuple_independent("R", ("A",), [(("a",), 1)])
+        with pytest.raises(ValueError, match="samples"):
+            sampled_query_confidences(rel("R"), db, samples=0)
