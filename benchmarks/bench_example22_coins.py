@@ -2,14 +2,20 @@
 
 Paper artifact: the table U = {⟨fair, 1/3⟩, ⟨2headed, 2/3⟩} and the
 eight possible worlds.  Regenerated exactly on both engines; the
-benchmark times the full U-relational pipeline (repair-keys, joins, two
-confidence computations).
+benchmark times the full pipeline through the ``repro.connect`` facade
+(repair-keys, joins, two confidence computations).
+
+Also runnable directly as a smoke test (the CI benchmarks job):
+
+    python benchmarks/bench_example22_coins.py --quick
 """
 
 from __future__ import annotations
 
+import sys
 from fractions import Fraction
 
+import repro
 from repro.algebra.builder import query
 from repro.generators.coins import (
     coin_database,
@@ -19,25 +25,40 @@ from repro.generators.coins import (
     posterior_query,
     toss_query,
 )
-from repro.urel import USession, enumerate_worlds
 from repro.worlds import evaluate as w_evaluate, evaluate_certain
 
 EXPECTED_U = {("fair", Fraction(1, 3)), ("2headed", Fraction(2, 3))}
 
+POSTERIOR_SCRIPT = """
+R := project[CoinType](repair-key[@ Count](Coins));
+S := project[CoinType, Toss, Face](
+       repair-key[CoinType, Toss @ FProb](
+         product(Faces, literal[Toss]{(1), (2)})));
+T := join(R, project[CoinType](select[Toss = 1 and Face = 'H'](S)),
+             project[CoinType](select[Toss = 2 and Face = 'H'](S)));
+U := project[CoinType, P1 / P2 -> P](
+       join(conf[P1](T), conf[P2](project[](T))));
+"""
 
-def run_pipeline_urel():
-    db = coin_database()
-    session = USession(db)
-    session.assign("R", pick_coin_query())
-    session.assign("S", toss_query(2))
-    session.assign("T", evidence_query(["H", "H"]))
-    return session.assign("U", posterior_query()).to_complete(), db
+
+def run_pipeline_engine():
+    engine = repro.connect(coin_database())
+    engine.assign("R", pick_coin_query())
+    engine.assign("S", toss_query(2))
+    engine.assign("T", evidence_query(["H", "H"]))
+    return engine.assign("U", posterior_query()).to_complete(), engine
+
+
+def run_pipeline_script():
+    engine = repro.connect(coin_database())
+    results = engine.run_script(POSTERIOR_SCRIPT)
+    return results["U"].to_complete(), engine
 
 
 def test_posterior_exact_on_both_engines():
-    u_succinct, db = run_pipeline_urel()
+    u_succinct, engine = run_pipeline_engine()
     assert u_succinct.rows == EXPECTED_U
-    assert enumerate_worlds(db).n_worlds() == 8
+    assert engine.worlds().n_worlds() == 8
 
     pw = coin_worlds_database()
     db1 = w_evaluate(query(pick_coin_query()), pw, "R")
@@ -48,10 +69,33 @@ def test_posterior_exact_on_both_engines():
     assert db3.n_worlds() == 8
 
 
+def test_posterior_via_script_front_door():
+    u_script, _engine = run_pipeline_script()
+    assert u_script.rows == EXPECTED_U
+
+
 def test_benchmark_example22_pipeline(benchmark):
-    u, _db = benchmark(run_pipeline_urel)
+    u, _engine = benchmark(run_pipeline_engine)
     assert u.rows == EXPECTED_U
     benchmark.extra_info["posterior"] = {
         coin: str(p) for coin, p in sorted(u.rows)
     }
     benchmark.extra_info["paper"] = {"fair": "1/3", "2headed": "2/3"}
+
+
+def main(argv: list[str]) -> int:
+    """Smoke mode for CI: regenerate U through both facade front doors."""
+    quick = "--quick" in argv
+    u_builder, engine = run_pipeline_engine()
+    u_script, _ = run_pipeline_script()
+    assert u_builder.rows == EXPECTED_U, f"builder pipeline produced {u_builder.rows}"
+    assert u_script.rows == EXPECTED_U, f"script pipeline produced {u_script.rows}"
+    print(f"E1 smoke ok: U = {sorted(u_builder.rows)}  cache={engine.cache_stats}")
+    if not quick:
+        assert engine.worlds().n_worlds() == 8
+        print("possible worlds: 8 (matches the paper)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

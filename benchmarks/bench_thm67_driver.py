@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import math
 
+import repro
 from repro.algebra.builder import rel
 from repro.algebra.expressions import col, lit
-from repro.core import evaluate_with_guarantee
 
 
 def _query():
@@ -22,10 +22,11 @@ def _query():
 
 
 def test_achieves_shrinking_deltas(coin_db_T):
+    engine = repro.connect(coin_db_T)
     rounds_used = []
     for delta in (0.2, 0.05, 0.0125):
-        report = evaluate_with_guarantee(
-            _query(), coin_db_T, delta=delta, eps0=0.05, rng=3
+        report = engine.evaluate_with_guarantee(
+            _query(), delta=delta, eps0=0.05, rng=3
         )
         assert report.achieved
         non_singular = {
@@ -41,24 +42,26 @@ def test_achieves_shrinking_deltas(coin_db_T):
 
 
 def test_doubling_total_work_geometric(coin_db_T):
-    report = evaluate_with_guarantee(
-        _query(), coin_db_T, delta=0.02, eps0=0.05, rng=4
+    report = repro.connect(coin_db_T).evaluate_with_guarantee(
+        _query(), delta=0.02, eps0=0.05, rng=4
     )
     total_rounds = sum(l for l, _ in report.history)
     assert total_rounds <= 2 * report.rounds + report.evaluations
 
 
 def test_selects_fair_only(coin_db_T):
-    report = evaluate_with_guarantee(
-        _query(), coin_db_T, delta=0.05, eps0=0.05, rng=5
+    report = repro.connect(coin_db_T).evaluate_with_guarantee(
+        _query(), delta=0.05, eps0=0.05, rng=5
     )
     assert {vals[0] for _, vals in report.relation.rows} == {"fair"}
 
 
 def test_benchmark_driver_delta005(benchmark, coin_db_T):
+    engine = repro.connect(coin_db_T)
+
     def run():
-        return evaluate_with_guarantee(
-            _query(), coin_db_T, delta=0.05, eps0=0.05, rng=6
+        return engine.evaluate_with_guarantee(
+            _query(), delta=0.05, eps0=0.05, rng=6
         )
 
     report = benchmark(run)

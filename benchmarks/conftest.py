@@ -11,23 +11,22 @@ from __future__ import annotations
 
 import pytest
 
+import repro
 from repro.generators.coins import (
     coin_database,
     evidence_query,
     pick_coin_query,
     toss_query,
 )
-from repro.urel import USession
 
 
 def coin_db_with_T():
     """The Example 2.2 database after R, S, T (shared by several benches)."""
-    db = coin_database()
-    session = USession(db)
-    session.assign("R", pick_coin_query())
-    session.assign("S", toss_query(2))
-    session.assign("T", evidence_query(["H", "H"]))
-    return db
+    engine = repro.connect(coin_database(), strategy="exact-decomposition")
+    engine.assign("R", pick_coin_query())
+    engine.assign("S", toss_query(2))
+    engine.assign("T", evidence_query(["H", "H"]))
+    return engine.db
 
 
 @pytest.fixture

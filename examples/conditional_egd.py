@@ -29,8 +29,8 @@ from repro.calculus import (
     probability,
     theorem_44_probability,
 )
+import repro
 from repro.generators.tpdb import tuple_independent, add_tuple_independent
-from repro.urel import enumerate_worlds
 
 
 def main() -> None:
@@ -68,8 +68,8 @@ def main() -> None:
         ExistentialQuery.of(Atom("Registered", ["ada"])), [egd], db
     )
 
-    # Reference: brute-force possible worlds.
-    worlds = enumerate_worlds(db)
+    # Reference: brute-force possible worlds, via the engine facade.
+    worlds = repro.connect(db).worlds()
     ref_joint = sum(
         w.probability
         for w in worlds.worlds

@@ -12,14 +12,13 @@ Run:  python examples/data_cleaning.py
 
 from __future__ import annotations
 
-from repro.core import evaluate_with_guarantee
+import repro
 from repro.generators.cleaning import (
     city_confidence_query,
     clean_worlds_query,
     confident_city_selection,
     dirty_person_records,
 )
-from repro.urel import USession
 from repro.util.tables import format_table
 
 THRESHOLD = 0.55
@@ -34,17 +33,16 @@ def main() -> None:
     print(data.relation)
     print()
 
-    session = USession(db)
-    session.assign("Clean", clean_worlds_query())
+    engine = repro.connect(db)
+    engine.assign("Clean", clean_worlds_query())
 
-    confidences = session.run(city_confidence_query()).relation.to_complete()
+    confidences = engine.query(city_confidence_query()).to_complete()
     print("Exact per-(person, city) confidences after repair-key:")
     print(format_table(confidences.columns, confidences.sorted_rows()))
     print()
 
-    report = evaluate_with_guarantee(
+    report = engine.evaluate_with_guarantee(
         confident_city_selection(THRESHOLD),
-        db,
         delta=DELTA,
         eps0=EPS0,
         rng=7,

@@ -5,71 +5,105 @@ toss it twice, observe two heads, and ask for the posterior probability
 of each coin type — the paper's flagship demonstration that the UA
 algebra computes conditional probabilities compositionally.
 
+Everything below uses only the top-level ``repro`` API: ``connect`` a
+database, ``assign`` session queries (strings or builders), read lazy
+confidences off the results, and ``explain`` the strategy choices.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.algebra import col, rel
-from repro.generators.coins import (
-    coin_database,
-    evidence_query,
-    pick_coin_query,
-    posterior_query,
-    toss_query,
-)
-from repro.urel import USession, enumerate_worlds
-from repro.util.tables import format_table
+from fractions import Fraction
+
+import repro
+
+HALF = Fraction(1, 2)
 
 
 def main() -> None:
-    db = coin_database()
-    session = USession(db)
+    db = repro.connect(
+        {
+            "Coins": repro.Relation.from_rows(
+                ("CoinType", "Count"), [("fair", 2), ("2headed", 1)]
+            ),
+            "Faces": repro.Relation.from_rows(
+                ("CoinType", "Face", "FProb"),
+                [("fair", "H", HALF), ("fair", "T", HALF), ("2headed", "H", Fraction(1))],
+            ),
+        },
+        rng=0,
+    )
 
     print("Initial complete database:")
     print(db.relation("Coins").to_complete())
     print()
-    print(db.relation("Faces").to_complete())
-    print()
 
     # R := pi_CoinType(repair-key_{∅@Count}(Coins)) — draw one coin.
-    u_r = session.assign("R", pick_coin_query())
+    u_r = db.assign("R", "project[CoinType](repair-key[@ Count](Coins))")
     print("U_R (Figure 1a) — the drawn coin, one row per alternative:")
     print(u_r)
     print()
 
-    # S := two tosses of the drawn coin.
-    u_s = session.assign("S", toss_query(2))
+    # S := two tosses of the drawn coin (builder syntax this time).
+    toss = repro.literal(["Toss"], [[1], [2]])
+    u_s = db.assign(
+        "S",
+        repro.rel("Faces")
+        .product(toss)
+        .repair_key(["CoinType", "Toss"], weight="FProb")
+        .project(["CoinType", "Toss", "Face"]),
+    )
     print("U_S (Figure 1b) — note the 2headed rows carry no condition:")
     print(u_s)
     print()
 
     print("W table (random variables introduced by the repair-keys):")
-    print(format_table(("Var", "Dom", "P"), db.w.as_relation().sorted_rows()))
+    print(db.w.as_relation())
     print()
 
     # T := coin type if both tosses came up heads.
-    session.assign("T", evidence_query(["H", "H"]))
+    db.assign(
+        "T",
+        "join(R, project[CoinType](select[Toss = 1 and Face = 'H'](S)), "
+        "project[CoinType](select[Toss = 2 and Face = 'H'](S)))",
+    )
 
     # U := conditional probability table via two confidence computations.
-    u = session.assign("U", posterior_query())
+    u = db.assign(
+        "U",
+        "project[CoinType, P1 / P2 -> P](join(conf[P1](T), conf[P2](project[](T))))",
+    )
     print("U — posterior Pr[CoinType | both tosses H] (paper: 1/3 vs 2/3):")
     print(u.to_complete())
     print()
 
+    # Per-tuple confidence is lazy on every result; the session strategy
+    # (`auto`) picks an exact method here because the DNFs are tiny.
+    t = db.query("T")
+    for row in t:
+        report = t.confidence(row)
+        print(f"conf{row} = {report.value}   [{report.method}, exact={report.exact}]")
+    print()
+
+    print("The plan behind U, with the per-operator strategy decisions:")
+    print(db.explain("project[CoinType, P1 / P2 -> P](join(conf[P1](T), conf[P2](project[](T))))"))
+    print()
+
     # The same number via the approximate confidence operator conf_{ε,δ}.
-    approx = session.run(
-        rel("T").approx_conf(eps=0.05, delta=0.01, p_name="P1")
-        .join(rel("T").project([]).approx_conf(eps=0.05, delta=0.01, p_name="P2"))
-        .project(["CoinType", (col("P1") / col("P2"), "P")])
-    ).relation
+    approx = db.query(
+        repro.rel("T").approx_conf(eps=0.05, delta=0.01, p_name="P1")
+        .join(repro.rel("T").project([]).approx_conf(eps=0.05, delta=0.01, p_name="P2"))
+        .project(["CoinType", (repro.col("P1") / repro.col("P2"), "P")])
+    )
     print("Same posterior with Karp–Luby conf_{0.05, 0.01} (approximate):")
     print(approx.to_complete())
     print()
 
-    worlds = enumerate_worlds(db)
+    worlds = db.worlds()
     print(f"The database unfolds to {worlds.n_worlds()} possible worlds "
           f"(the paper's eight).")
+    print(f"Session cache: {db.cache_stats}")
 
 
 if __name__ == "__main__":

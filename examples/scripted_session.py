@@ -2,17 +2,16 @@
 
 The whole Example 2.2 session — plus an approximate selection — written
 as a script in the surface syntax of `repro.algebra.parser` and executed
-against the U-relational engine.  Useful as a template for running the
-system without writing Python query trees.
+through the ``repro.connect`` facade with ``run_script``.  Useful as a
+template for running the system without writing Python query trees.
 
 Run:  python examples/scripted_session.py
 """
 
 from __future__ import annotations
 
-from repro.algebra import parse_session
+import repro
 from repro.generators.coins import coin_database
-from repro.urel import USession
 
 SCRIPT = """
 # Draw one coin from the bag (weights = counts).
@@ -38,16 +37,16 @@ V := aselect[P1 / P2 <= 0.5 ; conf(CoinType) as P1, conf() as P2](T);
 
 
 def main() -> None:
-    db = coin_database()
-    session = USession(db)
-    for name, query in parse_session(SCRIPT):
-        result = session.assign(name, query)
-        print(f"{name} :=")
-        print(result)
+    db = repro.connect(coin_database(), rng=0)
+    for name, result in db.run_script(SCRIPT).items():
+        print(f"{name} :=   ({result.elapsed * 1000:.2f} ms)")
+        print(result.relation)
         print()
 
     print("U matches Example 2.2 exactly: fair -> 1/3, 2headed -> 2/3;")
     print("V keeps only the fair coin (posterior 1/3 <= 1/2).")
+    print()
+    print(f"Session cache after the script: {db.cache_stats}")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Run:  python examples/sensor_monitoring.py
 
 from __future__ import annotations
 
+import repro
 from repro.core import ApproxQueryEvaluator
 from repro.generators.sensors import (
     alarm_confidence_query,
@@ -19,7 +20,6 @@ from repro.generators.sensors import (
     sensor_readings,
     true_levels_query,
 )
-from repro.urel import USession
 from repro.util.tables import format_table
 
 THRESHOLD = 0.6
@@ -29,11 +29,11 @@ EPS0 = 0.05
 
 def main() -> None:
     data = sensor_readings(n_sensors=6, n_epochs=3, rng=99)
-    db = data.database()
-    session = USession(db)
-    session.assign("State", true_levels_query())
+    engine = repro.connect(data.database())
+    db = engine.db
+    engine.assign("State", true_levels_query())
 
-    exact = session.run(alarm_confidence_query()).relation.to_complete()
+    exact = engine.query(alarm_confidence_query()).to_complete()
     print("Exact alarm probabilities (Pr[sensor reads HIGH in some epoch]):")
     print(format_table(exact.columns, exact.sorted_rows()))
     print()

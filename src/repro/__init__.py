@@ -1,0 +1,83 @@
+"""Reproduction of "Approximating predicates and expressive queries on
+probabilistic databases" (Koch, PODS 2008), grown into a general
+probabilistic-database engine.
+
+The public API is the engine facade::
+
+    import repro
+
+    db = repro.connect({"Coins": coins, "Faces": faces})   # or a UDatabase
+    db.assign("R", "project[CoinType](repair-key[@ Count](Coins))")
+    result = db.query(repro.rel("R").conf())               # Q builder …
+    result = db.query("conf[P](R)")                        # … or strings
+    print(db.explain("conf[P](R)"))                        # plan + strategy
+
+Everything else — the algebra AST and parser, the U-relational engine,
+the confidence solvers, the Section 5/6 approximation machinery — stays
+importable from its subpackage; the deprecated ``USession`` / top-level
+``evaluate`` shims keep old call sites working while they migrate.
+"""
+
+from repro.algebra.builder import Q, literal, rel
+from repro.algebra.expressions import col, lit
+from repro.algebra.parser import ParseError, parse_query, parse_session
+from repro.algebra.printer import unparse_query, unparse_session
+from repro.algebra.relations import Relation
+from repro.core.driver import DriverReport, evaluate_with_guarantee
+from repro.engine import (
+    AutoStrategy,
+    ConfidenceReport,
+    ConfidenceStrategy,
+    EngineResult,
+    ExplainReport,
+    ProbDB,
+    UnknownStrategyError,
+    connect,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
+)
+from repro.urel.evaluate import USession, evaluate
+from repro.urel.udatabase import UDatabase
+from repro.urel.urelation import URelation
+from repro.urel.variables import VariableTable
+
+__version__ = "0.2.0"
+
+__all__ = [
+    "__version__",
+    # engine facade (the public API)
+    "connect",
+    "ProbDB",
+    "EngineResult",
+    "ExplainReport",
+    "ConfidenceStrategy",
+    "ConfidenceReport",
+    "AutoStrategy",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_names",
+    "UnknownStrategyError",
+    # query construction
+    "Q",
+    "rel",
+    "literal",
+    "col",
+    "lit",
+    "parse_query",
+    "parse_session",
+    "unparse_query",
+    "unparse_session",
+    "ParseError",
+    # data model
+    "Relation",
+    "UDatabase",
+    "URelation",
+    "VariableTable",
+    # Section 6 driver
+    "evaluate_with_guarantee",
+    "DriverReport",
+    # deprecated shims
+    "USession",
+    "evaluate",
+]

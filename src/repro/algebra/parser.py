@@ -42,7 +42,7 @@ single-quoted strings, and attribute names.
 
 ``parse_query`` returns one AST; ``parse_session`` parses a
 ``Name := query;`` script into (name, query) assignments ready for
-:class:`repro.urel.USession`.
+``repro.connect(db).run_script(...)`` (or per-name ``assign`` calls).
 """
 
 from __future__ import annotations

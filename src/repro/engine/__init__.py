@@ -1,0 +1,49 @@
+"""The engine facade: one public API over algebra, urel, confidence, core.
+
+``repro.connect(...)`` / :class:`ProbDB` subsume the historical entry
+points (``USession``, top-level ``evaluate``, direct driver calls) behind
+a single session object with pluggable confidence strategies, explainable
+plans, and per-session memoization.
+"""
+
+from repro.engine.cache import CacheStats, MemoCache, query_fingerprint
+from repro.engine.plan import ExplainReport, PlanNode
+from repro.engine.probdb import ProbDB, connect
+from repro.engine.result import EngineResult
+from repro.engine.strategies import (
+    AutoStrategy,
+    ConfidenceReport,
+    ConfidenceStrategy,
+    ExactDecomposition,
+    ExactEnumeration,
+    KarpLuby,
+    NaiveMonteCarlo,
+    UnknownStrategyError,
+    dnf_is_read_once,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "ProbDB",
+    "connect",
+    "EngineResult",
+    "ExplainReport",
+    "PlanNode",
+    "MemoCache",
+    "CacheStats",
+    "query_fingerprint",
+    "ConfidenceStrategy",
+    "ConfidenceReport",
+    "ExactDecomposition",
+    "ExactEnumeration",
+    "KarpLuby",
+    "NaiveMonteCarlo",
+    "AutoStrategy",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_names",
+    "dnf_is_read_once",
+    "UnknownStrategyError",
+]

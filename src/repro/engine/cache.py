@@ -1,0 +1,99 @@
+"""Per-session memoization of query and confidence computations.
+
+Confidence is the expensive half of the system (#P in general), and
+interactive sessions recompute the same subresults constantly — the
+Example 2.2 posterior alone evaluates ``conf`` over the same T twice.
+The engine therefore memoizes
+
+* whole query evaluations, keyed on (query fingerprint, database
+  version, W-table version), and
+* per-tuple confidence computations, keyed on (the tuple's clause set,
+  W-table version, strategy name),
+
+where the version counters (see :class:`repro.urel.udatabase.UDatabase`
+and :class:`repro.urel.variables.VariableTable`) bump on every mutation,
+so a cache entry can never outlive the state it was computed against.
+
+Query fingerprints are derived from the printer's canonical text (the
+same notion of plan equivalence the round-trip tests use) plus the
+``op_id`` sequence of repair-key nodes — two structurally identical
+repair-keys with different ``op_id`` introduce *different* random
+variables and must not share an entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.algebra.operators import Query, RepairKey, walk
+from repro.algebra.printer import unparse_query
+
+__all__ = ["query_fingerprint", "MemoCache", "CacheStats"]
+
+
+def query_fingerprint(node: Query) -> str:
+    """Stable fingerprint of a query plan (repair-key identities included)."""
+    try:
+        text = unparse_query(node)
+    except TypeError:
+        # Plans outside the surface syntax (exotic literal scalars):
+        # dataclass reprs are deterministic within a process, which is all
+        # a per-session cache needs.
+        text = repr(node)
+    op_ids = ",".join(str(q.op_id) for q in walk(node) if isinstance(q, RepairKey))
+    return hashlib.sha256(f"{text}|rk:{op_ids}".encode()).hexdigest()
+
+
+class CacheStats:
+    """Hit/miss counters, exposed through ``ProbDB.cache_stats``."""
+
+    __slots__ = ("hits", "misses", "entries")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.entries = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": self.entries}
+
+    def __repr__(self) -> str:
+        return f"CacheStats(hits={self.hits}, misses={self.misses}, entries={self.entries})"
+
+
+class MemoCache:
+    """A bounded mapping with hit/miss accounting (FIFO eviction)."""
+
+    def __init__(self, maxsize: int | None = 1024):
+        self.maxsize = maxsize
+        self._data: dict = {}
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize is None or self.maxsize > 0
+
+    def get(self, key):
+        """The cached value, or ``None`` (misses are counted)."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if self.maxsize is not None and self.maxsize <= 0:
+            return
+        if self.maxsize is not None and len(self._data) >= self.maxsize and key not in self._data:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+        self.stats.entries = len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.stats.entries = 0
+
+    def __len__(self) -> int:
+        return len(self._data)

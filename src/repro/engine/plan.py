@@ -1,0 +1,192 @@
+"""Query plans for ``ProbDB.explain``: operator tree + strategy decisions.
+
+The UA algebra has exactly one expensive operator family — the
+confidence closures (``conf``, ``conf_{ε,δ}``, ``cert``, and the conf
+groups inside σ̂) — so an explain plan is the operator tree annotated, at
+those nodes, with the confidence backend the session strategy picks.
+Because the ``auto`` policy decides *per tuple* (it inspects each
+tuple's DNF), explain runs the sub-plans feeding confidence operators
+against a throwaway copy of the database and reports the per-method
+tuple counts it observed; like ``EXPLAIN ANALYZE``, the report reflects
+actual data, not just syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.algebra.operators import (
+    ApproxConf,
+    ApproxSelect,
+    BaseRel,
+    Cert,
+    Conf,
+    Difference,
+    Join,
+    Literal,
+    Poss,
+    Product,
+    Project,
+    Query,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.algebra.printer import unparse_expression
+from repro.confidence.dnf import Dnf
+
+if TYPE_CHECKING:
+    from repro.engine.strategies import ConfidenceStrategy
+    from repro.urel.evaluate import UEvaluator
+
+__all__ = ["PlanNode", "ExplainReport", "explain_plan"]
+
+
+@dataclass
+class PlanNode:
+    """One operator of the plan, with its strategy annotation (if any)."""
+
+    operator: str
+    detail: str = ""
+    strategy: str | None = None
+    methods: dict[str, int] = field(default_factory=dict)
+    children: tuple["PlanNode", ...] = ()
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        line = f"{pad}{self.operator}"
+        if self.detail:
+            line += f"[{self.detail}]"
+        if self.strategy is not None:
+            chosen = ", ".join(
+                f"{method} ×{count}" for method, count in sorted(self.methods.items())
+            ) or "no tuples"
+            line += f"  ← strategy={self.strategy}: {chosen}"
+        return "\n".join([line] + [c.render(indent + 1) for c in self.children])
+
+
+@dataclass
+class ExplainReport:
+    """The full plan for one query, as returned by ``ProbDB.explain``."""
+
+    root: PlanNode
+    strategy: str
+
+    def chosen_methods(self) -> set[str]:
+        """Every concrete confidence method some operator routed to."""
+        out: set[str] = set()
+
+        def visit(node: PlanNode) -> None:
+            out.update(node.methods)
+            for child in node.children:
+                visit(child)
+
+        visit(self.root)
+        return out
+
+    @property
+    def text(self) -> str:
+        return self.root.render()
+
+    def __str__(self) -> str:
+        return f"plan (session strategy: {self.strategy})\n{self.text}"
+
+
+def _method_counts(
+    evaluator: "UEvaluator", strategy: "ConfidenceStrategy", child: Query, groups=None
+) -> dict[str, int]:
+    """Evaluate ``child`` and tally the backend chosen for each tuple's DNF."""
+    relation, _complete = evaluator.eval(child)
+    counts: dict[str, int] = {}
+    targets = [relation] if groups is None else [
+        relation.project(list(group)) for group in groups
+    ]
+    for target in targets:
+        for row in target.possible_tuples().rows:
+            method = strategy.choose(Dnf.for_tuple(target, row, evaluator.db.w))
+            counts[method] = counts.get(method, 0) + 1
+    return counts
+
+
+def explain_plan(
+    node: Query, evaluator: "UEvaluator", strategy: "ConfidenceStrategy"
+) -> ExplainReport:
+    """Build the annotated plan for ``node``.
+
+    ``evaluator`` must wrap a throwaway copy of the session database —
+    explain executes repair-keys (extending that copy's W) to see the
+    DNFs that confidence operators will face.
+    """
+    return ExplainReport(_build(node, evaluator, strategy), strategy.name)
+
+
+def _build(node: Query, evaluator, strategy) -> PlanNode:
+    children = tuple(_build(c, evaluator, strategy) for c in _children_of(node))
+
+    if isinstance(node, BaseRel):
+        return PlanNode("scan", node.name)
+    if isinstance(node, Literal):
+        return PlanNode("literal", f"{len(node.relation)} rows")
+    if isinstance(node, Select):
+        return PlanNode("select", unparse_expression(node.condition), children=children)
+    if isinstance(node, Project):
+        return PlanNode(
+            "project", ", ".join(name for _, name in node.items), children=children
+        )
+    if isinstance(node, Rename):
+        return PlanNode(
+            "rename",
+            ", ".join(f"{a}->{b}" for a, b in node.mapping),
+            children=children,
+        )
+    if isinstance(node, Product):
+        return PlanNode("product", children=children)
+    if isinstance(node, Join):
+        return PlanNode("join", children=children)
+    if isinstance(node, Union):
+        return PlanNode("union", children=children)
+    if isinstance(node, Difference):
+        return PlanNode("difference", children=children)
+    if isinstance(node, RepairKey):
+        key = ", ".join(node.key) or "∅"
+        return PlanNode("repair-key", f"{key} @ {node.weight}", children=children)
+    if isinstance(node, Poss):
+        return PlanNode("poss", children=children)
+    if isinstance(node, Conf):
+        counts = _method_counts(evaluator, strategy, node.child)
+        return PlanNode(
+            "conf", node.p_name, strategy=strategy.name, methods=counts, children=children
+        )
+    if isinstance(node, Cert):
+        counts = _method_counts(evaluator, strategy, node.child)
+        return PlanNode(
+            "cert", strategy=strategy.name, methods=counts, children=children
+        )
+    if isinstance(node, ApproxConf):
+        counts = _method_counts(evaluator, strategy, node.child)
+        n_tuples = sum(counts.values())
+        return PlanNode(
+            "aconf",
+            f"ε={node.eps}, δ={node.delta}",
+            strategy="karp-luby",
+            methods={"karp-luby": n_tuples},
+            children=children,
+        )
+    if isinstance(node, ApproxSelect):
+        counts = _method_counts(evaluator, strategy, node.child, groups=node.groups)
+        return PlanNode(
+            "approx-select",
+            unparse_expression(node.predicate),
+            strategy=strategy.name,
+            methods=counts,
+            children=children,
+        )
+    raise TypeError(f"cannot explain query node {node!r}")
+
+
+def _children_of(node: Query) -> tuple[Query, ...]:
+    from repro.algebra.operators import children
+
+    return children(node)

@@ -1,0 +1,335 @@
+"""The :class:`ProbDB` facade — one front door for the whole system.
+
+The paper describes a single coherent engine: an algebra whose queries
+compositionally mix exact confidence (Theorem 3.4), the Karp–Luby
+``conf_{ε,δ}`` (Corollary 4.3), approximate selection (Section 6), and
+the Theorem 6.7 driver.  ``repro.connect(...)`` wires all of those to
+one session object:
+
+>>> import repro
+>>> db = repro.connect({"Coins": coins, "Faces": faces})
+>>> db.assign("R", "project[CoinType](repair-key[@ Count](Coins))")
+>>> result = db.query(rel("R").conf())          # builder Q objects ...
+>>> result = db.query("conf[P](R)")             # ... or parser strings
+>>> print(db.explain("conf[P](R)"))             # chosen plan/strategy
+
+A session owns one U-relational database (the W table grows across
+assignments, as in Example 2.2), one RNG (seeded once — every stochastic
+subroutine derives from it), one confidence strategy (see
+:mod:`repro.engine.strategies`), and one memo cache keyed on query
+fingerprint and database/W versions, so repeated confidence computations
+in a session are free.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Mapping, Sequence
+
+from repro.algebra.builder import Q
+from repro.algebra.operators import BaseRel, Query
+from repro.algebra.parser import parse_query, parse_session
+from repro.algebra.relations import Relation
+from repro.confidence.dnf import Dnf
+from repro.engine.cache import MemoCache, query_fingerprint
+from repro.engine.plan import ExplainReport, explain_plan
+from repro.engine.result import EngineResult
+from repro.engine.strategies import (
+    ConfidenceReport,
+    ConfidenceStrategy,
+    resolve_strategy,
+)
+from repro.urel.evaluate import UEvaluator
+from repro.urel.udatabase import UDatabase
+from repro.urel.urelation import URelation
+from repro.util.rng import ensure_rng, spawn_rng
+
+__all__ = ["ProbDB", "connect"]
+
+
+def connect(
+    source: "UDatabase | Mapping[str, Relation] | ProbDB",
+    strategy: str | ConfidenceStrategy = "auto",
+    eps: float | None = None,
+    delta: float | None = None,
+    rng: random.Random | int | None = None,
+    copy: bool = False,
+) -> "ProbDB":
+    """Open a :class:`ProbDB` session on ``source``.
+
+    ``source`` may be a :class:`UDatabase`, a mapping of names to
+    complete :class:`Relation` objects (lifted with every relation
+    marked complete), or another session (reuses its database).
+    ``strategy`` names the confidence backend (default ``auto``);
+    ``eps``/``delta`` parameterize its approximate methods; ``rng``
+    seeds every stochastic subroutine of the session.  With ``copy``
+    the session works on a private copy of the database.
+    """
+    return ProbDB(source, strategy=strategy, eps=eps, delta=delta, rng=rng, copy=copy)
+
+
+class _EngineEvaluator(UEvaluator):
+    """A :class:`UEvaluator` whose ``conf`` goes through the strategy registry."""
+
+    def __init__(self, db, strategy, rng, engine, copy_db=False):
+        # cert and σ̂ conf-joins must stay exact (Example 5.7); honor an
+        # explicitly-exact session strategy there, default to decomposition.
+        conf_method = "enumeration" if strategy.name == "exact-enumeration" else "decomposition"
+        super().__init__(db, conf_method=conf_method, rng=rng, copy_db=copy_db)
+        self.strategy = strategy
+        self.engine = engine
+
+    def eval(self, query):
+        from repro.algebra.operators import Conf
+
+        if isinstance(query, Conf):
+            child, _complete = self.eval(query.child)
+            return self.engine._confidence_relation(child, query.p_name, self), True
+        return super().eval(query)
+
+
+class ProbDB:
+    """A probabilistic-database session: data, strategy, RNG, cache."""
+
+    def __init__(
+        self,
+        source: "UDatabase | Mapping[str, Relation] | ProbDB",
+        strategy: str | ConfidenceStrategy = "auto",
+        eps: float | None = None,
+        delta: float | None = None,
+        rng: random.Random | int | None = None,
+        copy: bool = False,
+        cache_size: int | None = 1024,
+    ):
+        self.db = self._coerce(source, copy)
+        # The facade's single ensure_rng call site: every stochastic
+        # component below (Karp–Luby conf, aconf, the driver) draws from
+        # streams derived from this one generator.
+        self._rng = ensure_rng(rng)
+        self._eps = eps
+        self._delta = delta
+        self.strategy = resolve_strategy(strategy, eps=eps, delta=delta)
+        self._cache = MemoCache(cache_size)
+        # Parsed query texts are cached so a repeated string is the *same*
+        # plan (same repair-key op_ids → same random variables, and memo
+        # cache keys that can actually repeat).
+        self._parse_cache: dict[str, Query] = {}
+        self._evaluator = _EngineEvaluator(
+            self.db, self.strategy, self._rng, self, copy_db=False
+        )
+
+    @staticmethod
+    def _coerce(source, copy: bool) -> UDatabase:
+        if isinstance(source, ProbDB):
+            source = source.db
+        if isinstance(source, UDatabase):
+            return source.copy() if copy else source
+        if isinstance(source, Mapping):
+            lifted = {
+                name: rel if isinstance(rel, Relation) else Relation.from_rows(*rel)
+                for name, rel in source.items()
+            }
+            return UDatabase.from_complete(lifted)
+        raise TypeError(
+            f"cannot connect to {type(source).__name__}; expected UDatabase, "
+            f"mapping of Relations, or ProbDB"
+        )
+
+    # ------------------------------------------------------------ queries
+    def _resolve(self, query: "Query | Q | str") -> tuple[Query, str | None]:
+        """Accept builder ``Q`` objects, AST nodes, and parser strings."""
+        if isinstance(query, str):
+            text = query.strip()
+            node = self._parse_cache.get(text)
+            if node is None:
+                node = BaseRel(text) if text in self.db.relations else parse_query(text)
+                self._parse_cache[text] = node
+            return node, text
+        if isinstance(query, Q):
+            return query.q, None
+        if isinstance(query, Query):
+            return query, None
+        raise TypeError(f"cannot interpret query of type {type(query).__name__}")
+
+    def query(self, query: "Query | Q | str") -> EngineResult:
+        """Evaluate a query (without storing its result)."""
+        node, source = self._resolve(query)
+        started = time.perf_counter()
+        if self._cache.enabled:
+            fingerprint = query_fingerprint(node)
+            token = self.strategy.cache_token
+            cached = self._cache.get(
+                ("query", fingerprint, token, self.db.version, self.db.w.version)
+            )
+            if cached is None:
+                cached = self._evaluator.eval(node)
+                # Key on the *post*-evaluation versions: a repair-key query
+                # extends W on its first run but is idempotent afterwards
+                # (``ensure`` + fixed op_ids), so the next identical call
+                # sees exactly these versions and hits.
+                self._cache.put(
+                    ("query", fingerprint, token, self.db.version, self.db.w.version),
+                    cached,
+                )
+        else:
+            cached = self._evaluator.eval(node)
+        relation, complete = cached
+        elapsed = time.perf_counter() - started
+        return EngineResult(relation, complete, node, self, elapsed, source)
+
+    def assign(self, name: str, query: "Query | Q | str") -> EngineResult:
+        """``name := query`` — evaluate and store (Example 2.2 session style)."""
+        result = self.query(query)
+        self.db.set_relation(name, result.relation, complete=result.complete)
+        return result
+
+    def run_script(self, script: str) -> dict[str, EngineResult]:
+        """Run a ``Name := query;`` script; returns the named results in order.
+
+        Like the database state itself, a name assigned twice keeps its
+        *latest* result in the returned mapping (every assignment still
+        executes).
+        """
+        return {
+            name: self.assign(name, node) for name, node in parse_session(script)
+        }
+
+    def confidence(
+        self,
+        query: "Query | Q | str",
+        p_name: str = "P",
+        strategy: str | ConfidenceStrategy | None = None,
+    ) -> EngineResult:
+        """``conf`` of a query's result: ⟨t, Pr[t ∈ result]⟩ per possible tuple.
+
+        Uses the session strategy unless ``strategy`` overrides it.
+        """
+        node, source = self._resolve(query)
+        inner = self.query(node)
+        chosen = (
+            self.strategy
+            if strategy is None
+            else resolve_strategy(strategy, eps=self._eps, delta=self._delta)
+        )
+        started = time.perf_counter()
+        relation = self._confidence_relation(
+            inner.relation, p_name, self._evaluator, chosen
+        )
+        elapsed = time.perf_counter() - started
+        return EngineResult(relation, True, node, self, inner.elapsed + elapsed, source)
+
+    def evaluate_with_guarantee(
+        self,
+        query: "Query | Q | str",
+        delta: float,
+        eps0: float,
+        rng: random.Random | int | None = None,
+        **kwargs,
+    ):
+        """The Theorem 6.7 driver on this session's database.
+
+        Returns a :class:`repro.core.driver.DriverReport`; the driver
+        works on a private copy of the database.  ``rng`` defaults to a
+        stream derived from the session seed.
+        """
+        from repro.core.driver import evaluate_with_guarantee as _driver
+
+        node, _source = self._resolve(query)
+        generator = spawn_rng(self._rng) if rng is None else ensure_rng(rng)
+        return _driver(node, self.db, delta=delta, eps0=eps0, rng=generator, **kwargs)
+
+    def explain(self, query: "Query | Q | str") -> ExplainReport:
+        """The plan for ``query``, with the strategy chosen per conf operator.
+
+        Runs the confidence sub-plans against a throwaway copy of the
+        database (``EXPLAIN ANALYZE`` style), so ``auto`` decisions are
+        reported from the DNFs the operators will actually face.
+        """
+        node, _source = self._resolve(query)
+        # Fixed-seed scratch RNG: explain only *chooses* methods (never
+        # samples for answers), and a read-only introspection call must not
+        # perturb the session generator or later stochastic results.
+        scratch = UEvaluator(
+            self.db, conf_method="decomposition", rng=random.Random(0), copy_db=True
+        )
+        return explain_plan(node, scratch, self.strategy)
+
+    # ------------------------------------------------------------ confidence internals
+    def tuple_confidence(self, relation: URelation, row: Sequence) -> ConfidenceReport:
+        """Confidence of one data tuple of ``relation``, cached per session."""
+        dnf = Dnf.for_tuple(relation, row, self.db.w)
+        return self._compute_confidence(dnf, self.strategy)
+
+    def _compute_confidence(
+        self, dnf: Dnf, strategy: ConfidenceStrategy
+    ) -> ConfidenceReport:
+        if not self._cache.enabled:
+            return strategy.compute(dnf, self._rng)
+        key = ("conf", frozenset(dnf.members), self.db.w.version, strategy.cache_token)
+        report = self._cache.get(key)
+        if report is None:
+            report = strategy.compute(dnf, self._rng)
+            self._cache.put(key, report)
+        return report
+
+    def _confidence_relation(
+        self,
+        urel: URelation,
+        p_name: str,
+        evaluator: UEvaluator,
+        strategy: ConfidenceStrategy | None = None,
+    ) -> URelation:
+        """Strategy-routed [[conf(R)]] (replaces the evaluator's exact-only path)."""
+        chosen = self.strategy if strategy is None else strategy
+        from repro.algebra import schema as _schema
+        from repro.urel.conditions import TOP
+
+        cols = urel.columns
+        if p_name in cols:
+            raise _schema.SchemaError(
+                f"conf column {p_name!r} collides with schema {cols}"
+            )
+        out = set()
+        for row in sorted(urel.possible_tuples().rows, key=repr):
+            report = self._compute_confidence(
+                Dnf.for_tuple(urel, row, evaluator.db.w), chosen
+            )
+            out.add((TOP, tuple(row) + (report.value,)))
+        return URelation(cols + (p_name,), frozenset(out))
+
+    # ------------------------------------------------------------ introspection
+    def relation(self, name: str) -> URelation:
+        return self.db.relation(name)
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return self.db.relation_names
+
+    @property
+    def w(self):
+        """The session's W table of random variables."""
+        return self.db.w
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return self._cache.stats.as_dict()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def worlds(self, max_worlds: int = 1_000_000):
+        """Unfold the session database into its possible worlds."""
+        from repro.urel.enumerate import enumerate_worlds
+
+        return enumerate_worlds(self.db, max_worlds=max_worlds)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbDB({sorted(self.db.relation_names)}, strategy={self.strategy.name!r}, "
+            f"{len(self.db.w)} vars)"
+        )

@@ -1,0 +1,111 @@
+"""Result objects returned by the :class:`~repro.engine.probdb.ProbDB` facade.
+
+An :class:`EngineResult` wraps the output U-relation together with the
+session that produced it, so per-tuple confidence and provenance stay
+*lazy*: nothing #P-hard runs until a caller asks, and when they do the
+computation goes through the session's strategy and memo cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
+
+from repro.algebra.operators import Query
+from repro.algebra.relations import Relation
+from repro.urel.conditions import Condition
+from repro.urel.urelation import URelation
+
+if TYPE_CHECKING:
+    from repro.engine.probdb import ProbDB
+    from repro.engine.strategies import ConfidenceReport
+
+__all__ = ["EngineResult"]
+
+
+class EngineResult:
+    """A query result: data, lazy confidence, provenance, and timing.
+
+    ``relation`` is the result U-relation; ``complete`` mirrors the
+    paper's function ``c``; ``elapsed`` is evaluation wall-clock in
+    seconds; ``source`` preserves the textual query when one was parsed.
+    """
+
+    __slots__ = (
+        "relation",
+        "complete",
+        "query",
+        "source",
+        "elapsed",
+        "_engine",
+        "_conf",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        relation: URelation,
+        complete: bool,
+        query: Query,
+        engine: "ProbDB",
+        elapsed: float,
+        source: str | None = None,
+    ):
+        self.relation = relation
+        self.complete = complete
+        self.query = query
+        self.source = source
+        self.elapsed = elapsed
+        self._engine = engine
+        self._conf: dict[tuple, "ConfidenceReport"] = {}
+        self._rows: list[tuple] | None = None
+
+    # ------------------------------------------------------------ data access
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.relation.columns
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The distinct possible data tuples, deterministically ordered."""
+        if self._rows is None:
+            self._rows = self.relation.possible_tuples().sorted_rows()
+        return self._rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_complete(self) -> Relation:
+        """The classical relation (requires every tuple to be certain)."""
+        return self.relation.to_complete()
+
+    # ------------------------------------------------------------ uncertainty
+    def provenance(self, row: Sequence) -> list[Condition]:
+        """The disjunction F of conditions under which ``row`` appears."""
+        return self.relation.conditions_of(row)
+
+    def confidence(self, row: Sequence) -> "ConfidenceReport":
+        """Lazy Pr[row ∈ result], via the session strategy and memo cache."""
+        key = tuple(row)
+        report = self._conf.get(key)
+        if report is None:
+            report = self._engine.tuple_confidence(self.relation, key)
+            self._conf[key] = report
+        return report
+
+    def confidences(self) -> dict[tuple, "ConfidenceReport"]:
+        """Confidence reports for every possible tuple (computed on demand)."""
+        return {row: self.confidence(row) for row in self.rows}
+
+    def __repr__(self) -> str:
+        kind = "complete" if self.complete else "uncertain"
+        return (
+            f"EngineResult({len(self.rows)} tuples, {kind}, "
+            f"{self.elapsed * 1000:.2f} ms)"
+        )
+
+    def __str__(self) -> str:
+        return str(self.relation)

@@ -1,0 +1,325 @@
+"""Pluggable confidence strategies and the ``auto`` selection policy.
+
+The paper mixes three ways of turning a disjunction F of partial
+functions into a probability: the exact #P solvers behind ``conf``
+(Theorem 3.4), the Karp–Luby FPRAS behind ``conf_{ε,δ}`` (Corollary
+4.3), and the naive Monte-Carlo baseline it beats.  The engine exposes
+each as a named :class:`ConfidenceStrategy` in a registry, so sessions
+can switch backends without touching query code, and adds ``auto``: a
+per-tuple policy that inspects the DNF — degenerate cases, read-once
+structure (checked through :mod:`repro.core.readonce`), and size — and
+routes each tuple to the cheapest method that is still sound.
+
+Registry protocol::
+
+    strategy = resolve_strategy("auto", eps=0.1, delta=0.01)
+    report = strategy.compute(dnf, rng)     # -> ConfidenceReport
+    method = strategy.choose(dnf)           # what compute() would run
+
+Third parties register their own backends with :func:`register_strategy`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algebra.expressions import And, Attr, Cmp, Const, Or
+from repro.confidence.dnf import Dnf
+from repro.confidence.exact import (
+    probability_by_decomposition,
+    probability_by_enumeration,
+)
+from repro.confidence.karp_luby import approximate_confidence
+from repro.confidence.naive_mc import naive_confidence, naive_sample_size_additive
+from repro.core.readonce import is_read_once
+from repro.worlds.database import Prob
+
+__all__ = [
+    "ConfidenceReport",
+    "ConfidenceStrategy",
+    "ExactDecomposition",
+    "ExactEnumeration",
+    "KarpLuby",
+    "NaiveMonteCarlo",
+    "AutoStrategy",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_names",
+    "dnf_is_read_once",
+    "UnknownStrategyError",
+]
+
+DEFAULT_EPS = 0.1
+DEFAULT_DELTA = 0.01
+
+
+class UnknownStrategyError(ValueError):
+    """Raised when a strategy name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class ConfidenceReport:
+    """One tuple-confidence computation, with its audit trail.
+
+    ``strategy`` is the registry name the session asked for; ``method``
+    is the concrete backend that actually ran (they differ under
+    ``auto``).  ``exact`` marks values free of sampling error.
+    """
+
+    value: Prob
+    strategy: str
+    method: str
+    exact: bool
+    samples: int = 0
+    eps: float | None = None
+    delta: float | None = None
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+
+class ConfidenceStrategy:
+    """Base class: a named way of computing the weight of a DNF."""
+
+    name: str = "?"
+
+    @property
+    def cache_token(self) -> tuple:
+        """Hashable identity of this strategy *configuration*.
+
+        Cache keys include it so two instances that could answer the
+        same DNF differently (other (ε, δ), other routing thresholds)
+        never share an entry.
+        """
+        return (self.name,)
+
+    def choose(self, dnf: Dnf) -> str:
+        """Name of the concrete method :meth:`compute` would run on ``dnf``."""
+        return self.name
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<strategy {self.name!r}>"
+
+
+def dnf_is_read_once(dnf: Dnf) -> bool:
+    """Is the disjunction read-once — no variable shared between clauses?
+
+    A clause is a partial function, so within one clause each variable
+    occurs once; the disjunction is read-once iff clauses are pairwise
+    variable-disjoint.  On such instances the decomposition solver's
+    independent-component factoring computes the probability in linear
+    time (no Shannon branching), so exact evaluation is always cheap.
+    The check reuses the paper's predicate notion from
+    :mod:`repro.core.readonce` by lowering F to the Boolean formula
+    ⋁_f ⋀_{X∈dom(f)} (X = f(X)) with one attribute per variable
+    occurrence.
+    """
+    clauses = []
+    for member in dnf.members:
+        atoms = tuple(
+            Cmp("=", Attr(repr(var)), Const(0)) for var in sorted(member.variables, key=repr)
+        )
+        if not atoms:
+            continue
+        clauses.append(atoms[0] if len(atoms) == 1 else And(atoms))
+    if not clauses:
+        return True
+    formula = clauses[0] if len(clauses) == 1 else Or(tuple(clauses))
+    return is_read_once(formula)
+
+
+_REGISTRY: dict[str, type[ConfidenceStrategy]] = {}
+
+
+def register_strategy(cls: type[ConfidenceStrategy]) -> type[ConfidenceStrategy]:
+    """Register a strategy class under its ``name`` (decorator-friendly)."""
+    if not getattr(cls, "name", None) or cls.name == "?":
+        raise ValueError(f"strategy class {cls.__name__} needs a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_strategy(
+    spec: str | ConfidenceStrategy,
+    eps: float | None = None,
+    delta: float | None = None,
+) -> ConfidenceStrategy:
+    """Turn a name (or an instance, passed through) into a strategy.
+
+    ``eps``/``delta`` parameterize the approximate backends; exact ones
+    ignore them.  Accepts the legacy ``conf_method`` names
+    ``"decomposition"``/``"enumeration"`` for the shims' sake.
+    """
+    if isinstance(spec, ConfidenceStrategy):
+        return spec
+    name = {"decomposition": "exact-decomposition", "enumeration": "exact-enumeration"}.get(
+        spec, spec
+    )
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise UnknownStrategyError(
+            f"unknown confidence strategy {spec!r}; registered: {strategy_names()}"
+        ) from None
+    return cls(eps=eps, delta=delta)
+
+
+@register_strategy
+class ExactDecomposition(ConfidenceStrategy):
+    """Shannon expansion with independence factoring (Theorem 3.4 oracle)."""
+
+    name = "exact-decomposition"
+
+    def __init__(self, eps: float | None = None, delta: float | None = None):
+        pass
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        value = probability_by_decomposition(dnf)
+        return ConfidenceReport(value, self.name, self.name, exact=True)
+
+
+@register_strategy
+class ExactEnumeration(ConfidenceStrategy):
+    """Brute-force world enumeration — ground truth for small instances."""
+
+    name = "exact-enumeration"
+
+    def __init__(self, eps: float | None = None, delta: float | None = None):
+        pass
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        value = probability_by_enumeration(dnf)
+        return ConfidenceReport(value, self.name, self.name, exact=True)
+
+
+@register_strategy
+class KarpLuby(ConfidenceStrategy):
+    """The (ε, δ) FPRAS of Proposition 4.2 / Corollary 4.3."""
+
+    name = "karp-luby"
+
+    def __init__(self, eps: float | None = None, delta: float | None = None):
+        self.eps = DEFAULT_EPS if eps is None else eps
+        self.delta = DEFAULT_DELTA if delta is None else delta
+
+    @property
+    def cache_token(self) -> tuple:
+        return (self.name, self.eps, self.delta)
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        estimate = approximate_confidence(dnf, self.eps, self.delta, rng)
+        return ConfidenceReport(
+            estimate.estimate,
+            self.name,
+            self.name,
+            exact=estimate.exact,
+            samples=estimate.samples,
+            eps=self.eps,
+            delta=self.delta,
+        )
+
+
+@register_strategy
+class NaiveMonteCarlo(ConfidenceStrategy):
+    """World-sampling baseline with an additive Hoeffding guarantee only."""
+
+    name = "naive-mc"
+
+    def __init__(self, eps: float | None = None, delta: float | None = None):
+        self.eps = DEFAULT_EPS if eps is None else eps
+        self.delta = DEFAULT_DELTA if delta is None else delta
+
+    @property
+    def cache_token(self) -> tuple:
+        return (self.name, self.eps, self.delta)
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        samples = naive_sample_size_additive(self.eps, self.delta)
+        estimate = naive_confidence(dnf, samples, rng)
+        exact = dnf.is_empty or dnf.is_trivially_true
+        return ConfidenceReport(
+            estimate.estimate,
+            self.name,
+            self.name,
+            exact=exact,
+            samples=estimate.samples,
+            eps=self.eps,
+            delta=self.delta,
+        )
+
+
+@register_strategy
+class AutoStrategy(ConfidenceStrategy):
+    """Per-tuple routing to the cheapest sound backend.
+
+    Decision rule, in order:
+
+    1. degenerate F (empty, trivially true, single clause) — exact, free;
+    2. read-once F (:func:`dnf_is_read_once`) — exact decomposition,
+       which factors into independent components in linear time;
+    3. small F (|F| ≤ ``max_exact_size`` and |vars(F)| ≤
+       ``max_exact_variables``) — exact decomposition stays affordable;
+    4. otherwise — the Karp–Luby FPRAS with this strategy's (ε, δ).
+
+    Every routed computation still reports ``strategy="auto"`` and the
+    concrete ``method`` chosen, so :meth:`ProbDB.explain` can show the
+    decision.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        max_exact_size: int = 16,
+        max_exact_variables: int = 24,
+    ):
+        self.eps = DEFAULT_EPS if eps is None else eps
+        self.delta = DEFAULT_DELTA if delta is None else delta
+        self.max_exact_size = max_exact_size
+        self.max_exact_variables = max_exact_variables
+        self._exact = ExactDecomposition()
+        self._sampler = KarpLuby(self.eps, self.delta)
+
+    @property
+    def cache_token(self) -> tuple:
+        return (
+            self.name,
+            self.eps,
+            self.delta,
+            self.max_exact_size,
+            self.max_exact_variables,
+        )
+
+    def choose(self, dnf: Dnf) -> str:
+        if dnf.is_empty or dnf.is_trivially_true or dnf.size == 1:
+            return self._exact.name
+        if dnf_is_read_once(dnf):
+            return self._exact.name
+        if dnf.size <= self.max_exact_size and len(dnf.variables) <= self.max_exact_variables:
+            return self._exact.name
+        return self._sampler.name
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        method = self.choose(dnf)
+        backend = self._exact if method == self._exact.name else self._sampler
+        report = backend.compute(dnf, rng)
+        return ConfidenceReport(
+            report.value,
+            self.name,
+            method,
+            exact=report.exact,
+            samples=report.samples,
+            eps=report.eps,
+            delta=report.delta,
+        )

@@ -21,6 +21,7 @@ which threads one growing W table through consecutive assignments.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 
 from repro.algebra.operators import (
@@ -209,12 +210,13 @@ class UEvaluator:
 
 
 class USession:
-    """Session-style evaluation: consecutive assignments share one database.
+    """Deprecated shim over :class:`repro.engine.ProbDB`.
 
-    Mirrors the paper's Example 2.2 (``R := …; S := …; T := …; U := …``):
-    each :meth:`assign` evaluates a query against the current database,
-    stores the result under a name, and keeps the W table growing across
-    repair-key applications.
+    Mirrors the paper's Example 2.2 session style (``R := …; S := …``).
+    New code should use ``repro.connect(db)``, which adds strategy
+    selection, string queries, explain plans, and memoization; this shim
+    delegates to an engine session configured for the legacy behavior
+    (exact ``conf_method`` backend, no result caching).
     """
 
     def __init__(
@@ -223,19 +225,27 @@ class USession:
         conf_method: str = "decomposition",
         rng: random.Random | int | None = None,
     ):
+        warnings.warn(
+            "USession is deprecated; use repro.connect(db) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.engine.probdb import ProbDB
+
         self.db = db
-        self._evaluator = UEvaluator(db, conf_method, rng, copy_db=False)
+        self._engine = ProbDB(
+            db, strategy=conf_method, rng=rng, copy=False, cache_size=0
+        )
+        self._evaluator = self._engine._evaluator
 
     def run(self, query: Query | Q) -> UResult:
         """Evaluate a query without storing its result."""
-        node = query.q if isinstance(query, Q) else query
-        return self._evaluator.evaluate(node)
+        result = self._engine.query(query)
+        return UResult(result.relation, result.complete)
 
     def assign(self, name: str, query: Query | Q) -> URelation:
         """``name := query`` — evaluate and store (completeness tracked)."""
-        result = self.run(query)
-        self.db.set_relation(name, result.relation, complete=result.complete)
-        return result.relation
+        return self._engine.assign(name, query).relation
 
 
 def evaluate(
@@ -244,6 +254,17 @@ def evaluate(
     conf_method: str = "decomposition",
     rng: random.Random | int | None = None,
 ) -> URelation:
-    """One-shot evaluation; the input database is not modified."""
-    node = query.q if isinstance(query, Q) else query
-    return UEvaluator(db, conf_method, rng, copy_db=True).evaluate(node).relation
+    """Deprecated one-shot evaluation; use ``repro.connect(db).query(...)``.
+
+    Delegates to an engine session on a private copy of the database, so
+    the input is not modified.
+    """
+    warnings.warn(
+        "top-level evaluate() is deprecated; use repro.connect(db).query(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine.probdb import ProbDB
+
+    engine = ProbDB(db, strategy=conf_method, rng=rng, copy=True, cache_size=0)
+    return engine.query(query).relation

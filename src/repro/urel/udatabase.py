@@ -19,7 +19,7 @@ __all__ = ["UDatabase"]
 class UDatabase:
     """A set of named U-relations sharing one variable table."""
 
-    __slots__ = ("relations", "w", "complete")
+    __slots__ = ("relations", "w", "complete", "_version")
 
     def __init__(
         self,
@@ -30,6 +30,7 @@ class UDatabase:
         self.relations: dict[str, URelation] = dict(relations or {})
         self.w: VariableTable = w if w is not None else VariableTable()
         self.complete: set[str] = set(complete)
+        self._version = 0
         missing = self.complete - set(self.relations)
         if missing:
             raise ValueError(f"complete-marked relations do not exist: {sorted(missing)}")
@@ -67,9 +68,15 @@ class UDatabase:
         return frozenset(self.relations)
 
     # ------------------------------------------------------------ mutation
+    @property
+    def version(self) -> int:
+        """Relation-assignment counter (W mutations are counted by ``w.version``)."""
+        return self._version
+
     def set_relation(self, name: str, urel: URelation, complete: bool = False) -> None:
         """Session-style assignment ``name := urel`` (as in Example 2.2)."""
         self.relations[name] = urel
+        self._version += 1
         if complete:
             if not urel.is_certain:
                 raise ValueError("cannot mark a conditioned relation complete")

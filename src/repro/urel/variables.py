@@ -33,12 +33,22 @@ class VariableError(ValueError):
 
 
 class VariableTable:
-    """Mutable registry of independent discrete random variables."""
+    """Mutable registry of independent discrete random variables.
 
-    __slots__ = ("_vars",)
+    ``version`` counts successful :meth:`add` calls; the engine's memo
+    cache keys on it so entries die whenever W grows (a repair-key fired).
+    """
+
+    __slots__ = ("_vars", "_version")
 
     def __init__(self) -> None:
         self._vars: dict[Var, dict[DomValue, Prob]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumped by every new variable)."""
+        return self._version
 
     # ------------------------------------------------------------- mutation
     def add(self, var: Var, distribution: Mapping[DomValue, Prob]) -> None:
@@ -61,6 +71,7 @@ class VariableTable:
         elif abs(total - 1.0) > 1e-9:
             raise VariableError(f"distribution of {var!r} sums to {total}, not 1")
         self._vars[var] = dist
+        self._version += 1
 
     def ensure(self, var: Var, distribution: Mapping[DomValue, Prob]) -> None:
         """Add ``var`` if absent; verify the distribution matches if present."""
@@ -143,6 +154,7 @@ class VariableTable:
     def copy(self) -> "VariableTable":
         clone = VariableTable()
         clone._vars = {var: dict(dist) for var, dist in self._vars.items()}
+        clone._version = self._version
         return clone
 
     def as_relation(self) -> Relation:

@@ -78,7 +78,7 @@ def sampled_query_confidences(
     database), counting result-tuple occurrences.  Queries may use any
     operators the worlds engine supports *except* repair-key (which
     changes the variable set mid-query; apply repair-keys beforehand via
-    a :class:`~repro.urel.USession`, as the paper's sessions do).
+    ``repro.connect(db).assign(...)``, as the paper's sessions do).
     """
     node = query.q if isinstance(query, Q) else query
     generator = ensure_rng(rng)
@@ -89,7 +89,8 @@ def sampled_query_confidences(
     if any(isinstance(q, RepairKey) for q in walk(node)):
         raise ValueError(
             "repair-key inside a sampled query is unsupported; apply it "
-            "beforehand in a USession and sample the resulting database"
+            "beforehand via repro.connect(db).assign(...) and sample the "
+            "resulting database"
         )
 
     counts: dict[tuple, int] = {}
