@@ -12,7 +12,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.generators.coins import coin_database, pick_coin_query, toss_query, evidence_query
-from repro.urel import USession
+import repro
 from repro.urel.translate import translate_repair_key
 from repro.urel.urelation import URelation
 from repro.urel.variables import VariableTable
@@ -21,8 +21,8 @@ from repro.algebra.relations import Relation
 
 def test_figure_1a_shapes():
     db = coin_database()
-    session = USession(db)
-    u_r = session.assign("R", pick_coin_query())
+    session = repro.connect(db, strategy="exact-decomposition")
+    u_r = session.assign("R", pick_coin_query()).relation
     assert len(u_r) == 2
     assert all(len(cond) == 1 for cond, _ in u_r.rows)
     assert len(db.w) == 1
@@ -32,9 +32,9 @@ def test_figure_1a_shapes():
 
 def test_figure_1b_shapes():
     db = coin_database()
-    session = USession(db)
+    session = repro.connect(db, strategy="exact-decomposition")
     session.assign("R", pick_coin_query())
-    u_s = session.assign("S", toss_query(2))
+    u_s = session.assign("S", toss_query(2)).relation
     fair = [cond for cond, vals in u_s.rows if vals[0] == "fair"]
     headed = [cond for cond, vals in u_s.rows if vals[0] == "2headed"]
     assert len(fair) == 4 and all(len(c) == 1 for c in fair)

@@ -4,16 +4,29 @@ Shape claim: at equal sample budget, Karp–Luby's *relative* error on
 low-confidence tuples is far smaller than naive world-sampling's — the
 reason the paper adopts [14] rather than plain simulation.  The gap
 widens as the tuple probability shrinks.
+
+Also measures the vectorized batch backend: at the same (ε, δ)
+guarantee, `backend="numpy"` must be at least 3x faster than the scalar
+Python sampler (it is typically an order of magnitude faster).
 """
 
 from __future__ import annotations
 
+import time
+
+import pytest
+
 from repro.confidence import (
+    HAS_NUMPY,
+    BatchKarpLubySampler,
     KarpLubySampler,
+    approximate_confidence,
+    batch_approximate_confidence,
     naive_confidence,
     probability_by_decomposition,
 )
 from repro.confidence.dnf import Dnf
+from repro.generators.hard import bipartite_2dnf
 from repro.urel.conditions import Condition
 from repro.urel.variables import VariableTable
 
@@ -64,3 +77,43 @@ def test_benchmark_naive_mc_budget3000(benchmark):
     dnf = _rare_dnf(0.05)
     est = benchmark(naive_confidence, dnf, 3000, 2)
     benchmark.extra_info["estimate"] = round(est.estimate, 6)
+
+
+# ----------------------------------------------------- batch backend (E6b)
+def test_numpy_backend_speedup_at_equal_guarantee():
+    """Acceptance: ≥3x over the scalar sampler at the same (ε, δ)."""
+    if not HAS_NUMPY:
+        pytest.skip("numpy backend not available")
+    dnf = bipartite_2dnf(4, 4, edge_probability=0.6, rng=9)
+    eps, delta = 0.1, 0.01  # |F| ≈ 10 ⇒ m ≈ 16k trials per run
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    t_scalar = best_of(lambda: approximate_confidence(dnf, eps, delta, 1))
+    t_numpy = best_of(
+        lambda: batch_approximate_confidence(dnf, eps, delta, 1, backend="numpy")
+    )
+    speedup = t_scalar / t_numpy
+    assert speedup >= 3.0, f"numpy backend only {speedup:.1f}x faster"
+
+
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+def test_benchmark_karp_luby_batch_budget3000(benchmark, backend):
+    if backend == "numpy" and not HAS_NUMPY:
+        pytest.skip("numpy backend not available")
+    dnf = _rare_dnf(0.05)
+
+    def run():
+        sampler = BatchKarpLubySampler(dnf, rng=1, backend=backend)
+        sampler.run(3000)
+        return sampler.estimate
+
+    estimate = benchmark(run)
+    benchmark.extra_info["estimate"] = round(estimate, 6)
+    benchmark.extra_info["backend"] = backend

@@ -10,7 +10,6 @@ saved fraction must track the predicted factor as the margin grows.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.algebra.expressions import col, lit
 from repro.confidence import probability_by_decomposition

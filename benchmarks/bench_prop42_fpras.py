@@ -12,8 +12,12 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.confidence import (
+    HAS_NUMPY,
     approximate_confidence,
+    batch_approximate_confidence,
     karp_luby_sample_size,
     probability_by_decomposition,
 )
@@ -48,4 +52,17 @@ def test_benchmark_fpras_run(benchmark):
     benchmark.extra_info["samples"] = est.samples
     benchmark.extra_info["estimate"] = round(est.estimate, 4)
     benchmark.extra_info["truth"] = round(truth, 4)
+    assert abs(est.estimate - truth) < 0.5 * truth  # sanity, not the bound
+
+
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+def test_benchmark_fpras_batch_run(benchmark, backend):
+    """The same (ε, δ) budget drawn as one vectorized block per backend."""
+    if backend == "numpy" and not HAS_NUMPY:
+        pytest.skip("numpy backend not available")
+    dnf = bipartite_2dnf(5, 5, edge_probability=0.5, rng=4)
+    est = benchmark(batch_approximate_confidence, dnf, 0.2, 0.1, 11, backend)
+    truth = float(probability_by_decomposition(dnf))
+    benchmark.extra_info["samples"] = est.samples
+    benchmark.extra_info["backend"] = backend
     assert abs(est.estimate - truth) < 0.5 * truth  # sanity, not the bound

@@ -19,12 +19,13 @@ from repro.calculus import (
     theorem_44_probability,
 )
 from repro.generators.coins import coin_database, pick_coin_query, toss_query
-from repro.urel import USession, enumerate_worlds
+import repro
+from repro.urel import enumerate_worlds
 
 
 def _db():
     db = coin_database()
-    session = USession(db)
+    session = repro.connect(db, strategy="exact-decomposition")
     session.assign("R", pick_coin_query())
     session.assign("S", toss_query(2))
     return db

@@ -8,7 +8,6 @@ is within a constant factor of the final evaluation (geometric series).
 
 from __future__ import annotations
 
-import math
 
 import repro
 from repro.algebra.builder import rel

@@ -1,0 +1,228 @@
+"""Benchmark tracking for CI: run the suite, snapshot timings, gate regressions.
+
+Three subcommands:
+
+``run``
+    Execute the benchmark suite (pytest-benchmark) and write a compact
+    ``BENCH_<sha>.json`` snapshot — per-benchmark mean/stddev/rounds plus
+    the commit and environment they came from.  ``--quick`` caps each
+    benchmark's measurement time so the whole suite stays CI-sized.
+
+``compare``
+    Compare a snapshot against a committed baseline
+    (``benchmarks/baseline.json``): any benchmark whose mean grew by more
+    than ``--threshold``× (default 2.0) fails the run.  Benchmarks whose
+    means sit below ``--floor`` seconds on both sides are timer noise and
+    are reported but never failed; new/removed benchmarks are informational.
+    Absolute wall-clock comparisons are only meaningful on comparable
+    hardware, so when the two snapshots record different machine/Python
+    environments, regressions are reported but not enforced (override
+    with ``--force``); regenerate the baseline on the gating hardware to
+    arm the gate.
+
+``baseline``
+    ``run`` + rewrite ``benchmarks/baseline.json`` in one step (use after
+    an intentional performance change, then commit the file).
+
+Typical CI usage::
+
+    python benchmarks/track.py run --quick --output "BENCH_${GITHUB_SHA}.json"
+    python benchmarks/track.py compare "BENCH_${GITHUB_SHA}.json" benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent
+DEFAULT_BASELINE = HERE / "baseline.json"
+
+QUICK_FLAGS = [
+    "--benchmark-disable-gc",
+    "--benchmark-warmup=off",
+    "--benchmark-min-rounds=3",
+    "--benchmark-max-time=0.4",
+]
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _run_suite(quick: bool) -> dict:
+    """Run pytest-benchmark over benchmarks/ and return its raw JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "raw.json"
+        # bench_*.py does not match pytest's default test-file pattern, so
+        # hand the files over explicitly.
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *sorted(str(p) for p in HERE.glob("bench_*.py")),
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+        ]
+        if quick:
+            cmd += QUICK_FLAGS
+        result = subprocess.run(cmd, cwd=REPO)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark suite failed (exit {result.returncode})")
+        return json.loads(raw_path.read_text())
+
+
+def _snapshot(raw: dict, quick: bool) -> dict:
+    benchmarks = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benchmarks[bench["fullname"]] = {
+            "mean": stats["mean"],
+            "stddev": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return {
+        "schema": 1,
+        "sha": _git_sha(),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": benchmarks,
+    }
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    snapshot = _snapshot(_run_suite(args.quick), args.quick)
+    output = Path(args.output or f"BENCH_{snapshot['sha'][:12]}.json")
+    output.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} ({len(snapshot['benchmarks'])} benchmarks)")
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    snapshot = _snapshot(_run_suite(args.quick), args.quick)
+    DEFAULT_BASELINE.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {DEFAULT_BASELINE} ({len(snapshot['benchmarks'])} benchmarks)")
+    return 0
+
+
+def _environment(snapshot: dict) -> tuple[str, str]:
+    """(machine, python major.minor) — what timing comparability needs."""
+    return (
+        snapshot.get("machine", "?"),
+        ".".join(snapshot.get("python", "?").split(".")[:2]),
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    current_snapshot = json.loads(Path(args.current).read_text())
+    baseline_snapshot = json.loads(Path(args.baseline).read_text())
+    current = current_snapshot["benchmarks"]
+    baseline = baseline_snapshot["benchmarks"]
+    shared = sorted(set(current) & set(baseline))
+    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
+
+    # Absolute wall-clock means only gate when they were measured on
+    # comparable hardware: a CI runner that is simply 2x slower than the
+    # machine that recorded the baseline is not a code regression.
+    comparable = _environment(current_snapshot) == _environment(baseline_snapshot)
+    enforce = comparable or args.force
+    if not comparable:
+        print(
+            f"note: environments differ (baseline {_environment(baseline_snapshot)} "
+            f"vs current {_environment(current_snapshot)}); regressions are "
+            + ("enforced anyway (--force)" if args.force else "reported but not enforced")
+        )
+        print(
+            "      refresh the baseline on this hardware: "
+            "python benchmarks/track.py baseline --quick"
+        )
+
+    regressions = []
+    for name in shared:
+        cur, base = current[name]["mean"], baseline[name]["mean"]
+        ratio = cur / base if base > 0 else float("inf")
+        noise = cur < args.floor and base < args.floor
+        flag = " " if ratio <= args.threshold else ("~" if noise else "!")
+        if flag == "!":
+            regressions.append((name, ratio))
+        print(f"{flag} {ratio:6.2f}x  {base * 1e3:10.3f}ms -> {cur * 1e3:10.3f}ms  {name}")
+    for name in added:
+        print(f"+ new benchmark: {name}")
+    for name in removed:
+        print(f"- missing from current run: {name}")
+
+    if regressions:
+        print(
+            f"\n{'FAIL' if enforce else 'WARN'}: {len(regressions)} benchmark(s) "
+            f"regressed more than {args.threshold}x vs {args.baseline}:"
+        )
+        for name, ratio in regressions:
+            print(f"  {ratio:.2f}x  {name}")
+        print("If intentional, refresh the baseline: python benchmarks/track.py baseline --quick")
+        return 1 if enforce else 0
+    print(f"\nOK: no regression above {args.threshold}x across {len(shared)} benchmarks")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run the suite and write a snapshot")
+    p_run.add_argument("--output", help="snapshot path (default BENCH_<sha>.json)")
+    p_run.add_argument("--quick", action="store_true", help="CI-sized measurement budget")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_base = sub.add_parser("baseline", help="run the suite and rewrite baseline.json")
+    p_base.add_argument("--quick", action="store_true")
+    p_base.set_defaults(fn=cmd_baseline)
+
+    p_cmp = sub.add_parser("compare", help="gate a snapshot against a baseline")
+    p_cmp.add_argument("current", help="snapshot produced by `run`")
+    p_cmp.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    p_cmp.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current mean exceeds baseline mean by this factor (default 2.0)",
+    )
+    p_cmp.add_argument(
+        "--floor",
+        type=float,
+        default=1e-4,
+        help="seconds below which differences count as timer noise (default 100µs)",
+    )
+    p_cmp.add_argument(
+        "--force",
+        action="store_true",
+        help="enforce the gate even when baseline and current environments differ",
+    )
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

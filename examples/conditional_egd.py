@@ -19,7 +19,6 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.algebra.expressions import col
-from repro.algebra.relations import Relation
 from repro.calculus import (
     Atom,
     Egd,

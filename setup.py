@@ -39,7 +39,13 @@ setup(
     packages=find_packages("src"),
     package_dir={"": "src"},
     install_requires=[],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        # `fast` enables the vectorized batch Monte Carlo backend
+        # (confidence/batch.py); without it the engine falls back to the
+        # dependency-free pure-Python trial loop.
+        "fast": ["numpy"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
     classifiers=[
         "Development Status :: 4 - Beta",
         "Intended Audience :: Science/Research",

@@ -14,8 +14,7 @@ The public API is the engine facade::
 
 Everything else — the algebra AST and parser, the U-relational engine,
 the confidence solvers, the Section 5/6 approximation machinery — stays
-importable from its subpackage; the deprecated ``USession`` / top-level
-``evaluate`` shims keep old call sites working while they migrate.
+importable from its subpackage.
 """
 
 from repro.algebra.builder import Q, literal, rel
@@ -37,7 +36,6 @@ from repro.engine import (
     resolve_strategy,
     strategy_names,
 )
-from repro.urel.evaluate import USession, evaluate
 from repro.urel.udatabase import UDatabase
 from repro.urel.urelation import URelation
 from repro.urel.variables import VariableTable
@@ -77,7 +75,4 @@ __all__ = [
     # Section 6 driver
     "evaluate_with_guarantee",
     "DriverReport",
-    # deprecated shims
-    "USession",
-    "evaluate",
 ]

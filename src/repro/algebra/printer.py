@@ -16,13 +16,11 @@ from repro.algebra.expressions import (
     Arith,
     Attr,
     BoolConst,
-    BoolExpr,
     Cmp,
     Const,
     Expr,
     Not,
     Or,
-    Term,
 )
 from repro.algebra.operators import (
     ApproxConf,

@@ -44,7 +44,6 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.calculus.queries import (
-    Atom,
     ConjunctiveQuery,
     Egd,
     ExistentialQuery,

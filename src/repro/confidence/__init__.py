@@ -1,5 +1,16 @@
 """Confidence computation (Section 4): exact #P solvers and the Karp–Luby FPRAS."""
 
+from repro.confidence.batch import (
+    HAS_NUMPY,
+    BackendUnavailableError,
+    BatchKarpLubySampler,
+    available_backends,
+    batch_approximate_confidence,
+    batch_naive_confidence,
+    default_backend,
+    resolve_backend,
+    shared_block_confidences,
+)
 from repro.confidence.bounds import (
     combine_independent,
     combine_union,
@@ -29,6 +40,15 @@ from repro.confidence.naive_mc import (
 
 __all__ = [
     "Dnf",
+    "HAS_NUMPY",
+    "BackendUnavailableError",
+    "BatchKarpLubySampler",
+    "available_backends",
+    "batch_approximate_confidence",
+    "batch_naive_confidence",
+    "default_backend",
+    "resolve_backend",
+    "shared_block_confidences",
     "exact_probability",
     "probability_by_enumeration",
     "probability_by_decomposition",

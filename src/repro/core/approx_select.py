@@ -92,6 +92,7 @@ class ApproxQueryEvaluator:
         rng: random.Random | int | None = None,
         epsilon_method: str = "auto",
         copy_db: bool = True,
+        backend: str | None = None,
     ):
         if (rounds is None) == (decision_delta is None):
             raise ValueError("specify exactly one of rounds / decision_delta")
@@ -102,6 +103,7 @@ class ApproxQueryEvaluator:
         self.conf_method = conf_method
         self.rng = ensure_rng(rng)
         self.epsilon_method = epsilon_method
+        self.backend = backend
         self.decision_log: list[DecisionRecord] = []
 
     # ------------------------------------------------------------------
@@ -432,6 +434,7 @@ class ApproxQueryEvaluator:
                 spawn_rng(self.rng),
                 constants=cand_env,
                 epsilon_method=self.epsilon_method,
+                backend=self.backend,
             )
             if self.rounds is not None:
                 decision = approximator.run_rounds(self.rounds)

@@ -112,6 +112,7 @@ class PredicateApproximator:
         rng: random.Random | int | None = None,
         constants: Mapping[str, object] | None = None,
         epsilon_method: str = "auto",
+        backend: str | None = None,
     ):
         if not 0 < eps0 < 1:
             raise ValueError(f"eps0 must be in (0, 1), got {eps0}")
@@ -128,7 +129,7 @@ class PredicateApproximator:
                 f"predicate mentions {sorted(missing)} but no values/constants given"
             )
         self.samplers: dict[str, ApproximableValue] = {
-            name: as_approximable(value, spawn_rng(generator))
+            name: as_approximable(value, spawn_rng(generator), backend=backend)
             for name, value in sorted(values.items())
         }
         self.aliases: dict[str, str] = {}
@@ -266,13 +267,18 @@ class PredicateApproximator:
         a global round budget l and doubles it across evaluations; the
         reported bound is then Σᵢ δ′(max(ε_ψ, ε₀), l) ≤ k·δ′(max(ε_φ,ε₀), l)
         exactly as in Lemma 6.4(2).
+
+        Because the budget is fixed up front, the whole allocation —
+        ``rounds``·|Fᵢ| trials for each stochastic value — is handed to
+        the value in one :meth:`~repro.core.values.ApproximableValue.refine_many`
+        call, which batch-backed estimators draw as a single block.
         """
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
         if not self._stochastic:
             return self._decision(rounds=0)
-        for _ in range(rounds):
-            self._one_round()
+        for name in self._stochastic:
+            self.samplers[name].refine_many(rounds)
         return self._decision(rounds)
 
 
@@ -300,9 +306,10 @@ def approximate_predicate(
     rng: random.Random | int | None = None,
     constants: Mapping[str, object] | None = None,
     epsilon_method: str = "auto",
+    backend: str | None = None,
 ) -> PredicateDecision:
     """One-shot Figure 3 run (see :class:`PredicateApproximator`)."""
     approximator = PredicateApproximator(
-        predicate, values, eps0, rng, constants, epsilon_method
+        predicate, values, eps0, rng, constants, epsilon_method, backend=backend
     )
     return approximator.decide(delta)

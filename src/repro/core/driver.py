@@ -81,6 +81,7 @@ def evaluate_with_guarantee(
     max_rounds: int | None = None,
     conf_method: str = "decomposition",
     epsilon_method: str = "auto",
+    backend: str | None = None,
 ) -> DriverReport:
     """Evaluate a positive UA[σ̂] query with overall tuple error ≤ δ.
 
@@ -88,6 +89,12 @@ def evaluate_with_guarantee(
     ⌈3·ln(2/δ′)/ε₀²⌉ for δ′ = δ / max(1, #σ̂ operators), doubled once for
     slack — a loose but finite ceiling; the loop almost always stops far
     earlier because per-tuple ε_ψ values exceed ε₀.
+
+    ``backend`` selects the Monte-Carlo trial engine for the σ̂
+    decisions.  Each evaluation at round budget l runs fixed-budget
+    Figure 3 decisions, so every stochastic value's whole (ε, δ)-derived
+    allocation of l·|Fᵢ| Karp–Luby trials is drawn as one vectorized
+    block rather than trial by trial.
     """
     node = query.q if isinstance(query, Q) else query
     if not 0 < delta < 1:
@@ -108,6 +115,7 @@ def evaluate_with_guarantee(
             conf_method=conf_method,
             rng=spawn_rng(generator),
             epsilon_method=epsilon_method,
+            backend=backend,
         )
         annotated = evaluator.evaluate(node)
         evaluations += 1

@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.confidence.bounds import delta_prime
-from repro.urel.conditions import Condition
 from repro.urel.urelation import URelation, URow
 
 __all__ = ["AnnotatedRelation", "proposition_66_bound", "cap"]

@@ -22,7 +22,7 @@ logic lives in `repro.core.linear` (Theorem 5.2) and
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 from itertools import product as iter_product
 

@@ -43,7 +43,6 @@ from repro.algebra.expressions import (
     Or,
     Term,
     attributes,
-    rename_attributes,
     to_nnf,
 )
 from repro.core.intervals import Orthotope

@@ -35,7 +35,7 @@ from repro.algebra.expressions import (
     Or,
     attributes,
 )
-from repro.core.linear import NonLinearError, atom_as_geq
+from repro.core.linear import atom_as_geq
 
 __all__ = [
     "singularity_radius",

@@ -72,6 +72,17 @@ class ApproximableValue(abc.ABC):
     def refine(self) -> None:
         """Spend one batch of sampling effort (a Figure 3 round)."""
 
+    def refine_many(self, rounds: int) -> None:
+        """Spend ``rounds`` refinement rounds' worth of effort at once.
+
+        Statistically identical to calling :meth:`refine` that many
+        times; implementations backed by the vectorized trial engine
+        override this to draw the whole allocation as one block (the
+        fixed-budget regime of the Theorem 6.7 driver).
+        """
+        for _ in range(rounds):
+            self.refine()
+
     @abc.abstractmethod
     def error_bound(self, eps: float) -> float:
         """δ(ε) ≥ Pr[|p̂ − p| ≥ ε·p] for the effort spent so far."""
@@ -87,17 +98,36 @@ class ApproximableValue(abc.ABC):
 
 
 class KarpLubyValue(ApproximableValue):
-    """Tuple confidence approximated by the Karp–Luby estimator."""
+    """Tuple confidence approximated by the Karp–Luby estimator.
 
-    def __init__(self, dnf: Dnf, rng: random.Random | int | None = None):
-        self._sampler = KarpLubySampler(dnf, rng)
+    ``backend`` selects the trial engine: ``None`` keeps the scalar
+    sampler; ``"auto"``/``"numpy"``/``"python"`` use the vectorized
+    :class:`~repro.confidence.batch.BatchKarpLubySampler`, which draws
+    each refinement round's |F| trials (and multi-round allocations, see
+    :meth:`refine_many`) as one block.
+    """
+
+    def __init__(
+        self,
+        dnf: Dnf,
+        rng: random.Random | int | None = None,
+        backend: str | None = None,
+    ):
+        self._backend = backend
+        if backend is None:
+            self._sampler = KarpLubySampler(dnf, rng)
+        else:
+            from repro.confidence.batch import BatchKarpLubySampler
+
+            self._sampler = BatchKarpLubySampler(dnf, rng, backend=backend)
 
     @property
     def dnf(self) -> Dnf:
         return self._sampler.dnf
 
     @property
-    def sampler(self) -> KarpLubySampler:
+    def sampler(self):
+        """The underlying (scalar or batch) Karp–Luby sampler."""
         return self._sampler
 
     @property
@@ -116,11 +146,17 @@ class KarpLubyValue(ApproximableValue):
         # The Figure 3 loop body: "repeat |F_i| times do X_i += estimator".
         self._sampler.run(self._sampler.dnf.size)
 
+    def refine_many(self, rounds: int) -> None:
+        # One block of rounds·|F| trials: the whole (ε, δ)-derived round
+        # allocation for this value drawn at once.
+        if rounds > 0:
+            self._sampler.run(rounds * self._sampler.dnf.size)
+
     def error_bound(self, eps: float) -> float:
         return self._sampler.error_bound(eps)
 
     def clone(self, rng: random.Random | int | None = None) -> "KarpLubyValue":
-        return KarpLubyValue(self._sampler.dnf, rng)
+        return KarpLubyValue(self._sampler.dnf, rng, backend=self._backend)
 
 
 class HoeffdingMeanValue(ApproximableValue):
@@ -226,16 +262,18 @@ class ExactValue(ApproximableValue):
 def as_approximable(
     value: "ApproximableValue | Dnf | float | int",
     rng: random.Random | int | None = None,
+    backend: str | None = None,
 ) -> ApproximableValue:
     """Coerce user input into an :class:`ApproximableValue`.
 
-    Disjunctions become Karp–Luby values (the paper's case); numbers
-    become exact constants; existing values pass through.
+    Disjunctions become Karp–Luby values (the paper's case) on the given
+    trial ``backend``; numbers become exact constants; existing values
+    pass through.
     """
     if isinstance(value, ApproximableValue):
         return value
     if isinstance(value, Dnf):
-        return KarpLubyValue(value, rng)
+        return KarpLubyValue(value, rng, backend=backend)
     if isinstance(value, (int, float)):
         return ExactValue(value)
     raise TypeError(f"cannot treat {value!r} as an approximable value")

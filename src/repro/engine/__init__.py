@@ -1,9 +1,10 @@
 """The engine facade: one public API over algebra, urel, confidence, core.
 
-``repro.connect(...)`` / :class:`ProbDB` subsume the historical entry
-points (``USession``, top-level ``evaluate``, direct driver calls) behind
-a single session object with pluggable confidence strategies, explainable
-plans, and per-session memoization.
+``repro.connect(...)`` / :class:`ProbDB` replaced the historical entry
+points (the removed ``USession`` shim, top-level ``evaluate``, direct
+driver calls) with a single session object with pluggable confidence
+strategies, vectorized batch sampling, explainable plans, and
+per-session memoization.
 """
 
 from repro.engine.cache import CacheStats, MemoCache, query_fingerprint

@@ -31,6 +31,7 @@ from repro.algebra.builder import Q
 from repro.algebra.operators import BaseRel, Query
 from repro.algebra.parser import parse_query, parse_session
 from repro.algebra.relations import Relation
+from repro.confidence.batch import resolve_backend
 from repro.confidence.dnf import Dnf
 from repro.engine.cache import MemoCache, query_fingerprint
 from repro.engine.plan import ExplainReport, explain_plan
@@ -55,6 +56,7 @@ def connect(
     delta: float | None = None,
     rng: random.Random | int | None = None,
     copy: bool = False,
+    backend: str | None = None,
 ) -> "ProbDB":
     """Open a :class:`ProbDB` session on ``source``.
 
@@ -63,10 +65,20 @@ def connect(
     marked complete), or another session (reuses its database).
     ``strategy`` names the confidence backend (default ``auto``);
     ``eps``/``delta`` parameterize its approximate methods; ``rng``
-    seeds every stochastic subroutine of the session.  With ``copy``
-    the session works on a private copy of the database.
+    seeds every stochastic subroutine of the session; ``backend``
+    selects the Monte-Carlo trial engine (``"numpy"``/``"python"``,
+    default auto-detection — see :mod:`repro.confidence.batch`).  With
+    ``copy`` the session works on a private copy of the database.
     """
-    return ProbDB(source, strategy=strategy, eps=eps, delta=delta, rng=rng, copy=copy)
+    return ProbDB(
+        source,
+        strategy=strategy,
+        eps=eps,
+        delta=delta,
+        rng=rng,
+        copy=copy,
+        backend=backend,
+    )
 
 
 class _EngineEvaluator(UEvaluator):
@@ -101,6 +113,7 @@ class ProbDB:
         rng: random.Random | int | None = None,
         copy: bool = False,
         cache_size: int | None = 1024,
+        backend: str | None = None,
     ):
         self.db = self._coerce(source, copy)
         # The facade's single ensure_rng call site: every stochastic
@@ -109,7 +122,10 @@ class ProbDB:
         self._rng = ensure_rng(rng)
         self._eps = eps
         self._delta = delta
-        self.strategy = resolve_strategy(strategy, eps=eps, delta=delta)
+        self.backend = resolve_backend(backend)
+        self.strategy = resolve_strategy(
+            strategy, eps=eps, delta=delta, backend=self.backend
+        )
         self._cache = MemoCache(cache_size)
         # Parsed query texts are cached so a repeated string is the *same*
         # plan (same repair-key op_ids → same random variables, and memo
@@ -210,7 +226,9 @@ class ProbDB:
         chosen = (
             self.strategy
             if strategy is None
-            else resolve_strategy(strategy, eps=self._eps, delta=self._delta)
+            else resolve_strategy(
+                strategy, eps=self._eps, delta=self._delta, backend=self.backend
+            )
         )
         started = time.perf_counter()
         relation = self._confidence_relation(
@@ -231,12 +249,14 @@ class ProbDB:
 
         Returns a :class:`repro.core.driver.DriverReport`; the driver
         works on a private copy of the database.  ``rng`` defaults to a
-        stream derived from the session seed.
+        stream derived from the session seed; the session's trial
+        ``backend`` is used unless overridden via ``backend=...``.
         """
         from repro.core.driver import evaluate_with_guarantee as _driver
 
         node, _source = self._resolve(query)
         generator = spawn_rng(self._rng) if rng is None else ensure_rng(rng)
+        kwargs.setdefault("backend", self.backend)
         return _driver(node, self.db, delta=delta, eps0=eps0, rng=generator, **kwargs)
 
     def explain(self, query: "Query | Q | str") -> ExplainReport:
@@ -261,17 +281,89 @@ class ProbDB:
         dnf = Dnf.for_tuple(relation, row, self.db.w)
         return self._compute_confidence(dnf, self.strategy)
 
+    def _conf_cache_key(self, dnf: Dnf, strategy: ConfidenceStrategy) -> tuple:
+        return ("conf", frozenset(dnf.members), self.db.w.version, strategy.cache_token)
+
     def _compute_confidence(
         self, dnf: Dnf, strategy: ConfidenceStrategy
     ) -> ConfidenceReport:
         if not self._cache.enabled:
             return strategy.compute(dnf, self._rng)
-        key = ("conf", frozenset(dnf.members), self.db.w.version, strategy.cache_token)
+        key = self._conf_cache_key(dnf, strategy)
         report = self._cache.get(key)
         if report is None:
             report = strategy.compute(dnf, self._rng)
             self._cache.put(key, report)
         return report
+
+    def _compute_confidence_batch(
+        self, dnfs: Sequence[Dnf], strategy: ConfidenceStrategy
+    ) -> list[ConfidenceReport]:
+        """Confidences for many tuples in one batched pass.
+
+        Cache-aware: memoized DNFs are answered from the session cache;
+        only the misses go to the strategy's :meth:`compute_batch`, which
+        draws their trials as shared/vectorized blocks instead of N
+        independent sampler runs.
+        """
+        if not self._cache.enabled:
+            return list(strategy.compute_batch(dnfs, self._rng))
+        reports: list[ConfidenceReport | None] = []
+        # Distinct tuples often share one condition set (same cache key);
+        # compute each distinct DNF once per batch, as the sequential
+        # path effectively did.
+        misses: dict[tuple, int] = {}
+        for i, dnf in enumerate(dnfs):
+            key = self._conf_cache_key(dnf, strategy)
+            cached = self._cache.get(key)
+            reports.append(cached)
+            if cached is None:
+                misses.setdefault(key, i)
+        if misses:
+            fresh = strategy.compute_batch(
+                [dnfs[i] for i in misses.values()], self._rng
+            )
+            by_key = dict(zip(misses, fresh))
+            for key, report in by_key.items():
+                self._cache.put(key, report)
+            for i, dnf in enumerate(dnfs):
+                if reports[i] is None:
+                    reports[i] = by_key[self._conf_cache_key(dnf, strategy)]
+        return reports
+
+    def confidence_all(
+        self,
+        query: "Query | Q | str",
+        strategy: str | ConfidenceStrategy | None = None,
+    ) -> dict[tuple, ConfidenceReport]:
+        """Pr[t ∈ result] for EVERY possible tuple, in one batched pass.
+
+        Where ``result.confidence(row)`` runs one sampler per call,
+        this evaluates the query once, builds every tuple's DNF, and
+        hands the whole batch to the strategy — sampling strategies then
+        draw trials as vectorized blocks (and, for naive MC, evaluate
+        all tuples against one shared block of worlds).  Returns a
+        mapping from data tuple to its :class:`ConfidenceReport`.
+        """
+        result = self.query(query)
+        chosen = (
+            self.strategy
+            if strategy is None
+            else resolve_strategy(
+                strategy, eps=self._eps, delta=self._delta, backend=self.backend
+            )
+        )
+        rows = result.rows
+        dnfs = [Dnf.for_tuple(result.relation, row, self.db.w) for row in rows]
+        reports = self._compute_confidence_batch(dnfs, chosen)
+        return dict(zip(rows, reports))
+
+    def relation_confidences(
+        self, relation: URelation, rows: Sequence[tuple]
+    ) -> list[ConfidenceReport]:
+        """Batched confidences for the given data tuples of ``relation``."""
+        dnfs = [Dnf.for_tuple(relation, row, self.db.w) for row in rows]
+        return self._compute_confidence_batch(dnfs, self.strategy)
 
     def _confidence_relation(
         self,
@@ -290,12 +382,13 @@ class ProbDB:
             raise _schema.SchemaError(
                 f"conf column {p_name!r} collides with schema {cols}"
             )
-        out = set()
-        for row in sorted(urel.possible_tuples().rows, key=repr):
-            report = self._compute_confidence(
-                Dnf.for_tuple(urel, row, evaluator.db.w), chosen
-            )
-            out.add((TOP, tuple(row) + (report.value,)))
+        rows = sorted(urel.possible_tuples().rows, key=repr)
+        dnfs = [Dnf.for_tuple(urel, row, evaluator.db.w) for row in rows]
+        reports = self._compute_confidence_batch(dnfs, chosen)
+        out = {
+            (TOP, tuple(row) + (report.value,))
+            for row, report in zip(rows, reports)
+        }
         return URelation(cols + (p_name,), frozenset(out))
 
     # ------------------------------------------------------------ introspection

@@ -97,8 +97,20 @@ class EngineResult:
         return report
 
     def confidences(self) -> dict[tuple, "ConfidenceReport"]:
-        """Confidence reports for every possible tuple (computed on demand)."""
-        return {row: self.confidence(row) for row in self.rows}
+        """Confidence reports for every possible tuple, in one batched pass.
+
+        Rows whose confidence was already computed (lazily or by a prior
+        call) are reused; the remainder go through the session's batched
+        path — the strategy sees them all at once and draws their Monte
+        Carlo trials as vectorized blocks (see
+        :meth:`repro.engine.probdb.ProbDB.confidence_all`).
+        """
+        missing = [row for row in self.rows if tuple(row) not in self._conf]
+        if missing:
+            reports = self._engine.relation_confidences(self.relation, missing)
+            for row, report in zip(missing, reports):
+                self._conf[tuple(row)] = report
+        return {row: self._conf[tuple(row)] for row in self.rows}
 
     def __repr__(self) -> str:
         kind = "complete" if self.complete else "uncertain"

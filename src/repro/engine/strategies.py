@@ -12,26 +12,40 @@ routes each tuple to the cheapest method that is still sound.
 
 Registry protocol::
 
-    strategy = resolve_strategy("auto", eps=0.1, delta=0.01)
+    strategy = resolve_strategy("auto", eps=0.1, delta=0.01, backend="numpy")
     report = strategy.compute(dnf, rng)     # -> ConfidenceReport
+    reports = strategy.compute_batch(dnfs, rng)   # batched (shared samples)
     method = strategy.choose(dnf)           # what compute() would run
 
-Third parties register their own backends with :func:`register_strategy`.
+Sampling strategies additionally take a trial ``backend``
+(``"numpy"``/``"python"``/``"auto"``, see :mod:`repro.confidence.batch`)
+and override :meth:`ConfidenceStrategy.compute_batch` to draw trials in
+vectorized blocks shared across a whole batch of tuples.  Third parties
+register their own strategies with :func:`register_strategy`; strategy
+classes are instantiated as ``cls(eps=..., delta=..., backend=...)``.
 """
 
 from __future__ import annotations
 
+import inspect
 import random
 from dataclasses import dataclass
 
+from collections.abc import Sequence
+
 from repro.algebra.expressions import And, Attr, Cmp, Const, Or
+from repro.confidence.batch import (
+    batch_approximate_confidence,
+    batch_naive_confidence,
+    resolve_backend,
+    shared_block_confidences,
+)
 from repro.confidence.dnf import Dnf
 from repro.confidence.exact import (
     probability_by_decomposition,
     probability_by_enumeration,
 )
-from repro.confidence.karp_luby import approximate_confidence
-from repro.confidence.naive_mc import naive_confidence, naive_sample_size_additive
+from repro.confidence.naive_mc import naive_sample_size_additive
 from repro.core.readonce import is_read_once
 from repro.worlds.database import Prob
 
@@ -101,6 +115,17 @@ class ConfidenceStrategy:
     def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
         raise NotImplementedError
 
+    def compute_batch(
+        self, dnfs: Sequence[Dnf], rng: random.Random
+    ) -> list[ConfidenceReport]:
+        """Confidences for a whole batch of disjunctions (one per tuple).
+
+        The default runs :meth:`compute` per DNF; sampling strategies
+        override this to amortize trial drawing across the batch (shared
+        world blocks, vectorized per-tuple trial budgets).
+        """
+        return [self.compute(dnf, rng) for dnf in dnfs]
+
     def __repr__(self) -> str:
         return f"<strategy {self.name!r}>"
 
@@ -152,12 +177,14 @@ def resolve_strategy(
     spec: str | ConfidenceStrategy,
     eps: float | None = None,
     delta: float | None = None,
+    backend: str | None = None,
 ) -> ConfidenceStrategy:
     """Turn a name (or an instance, passed through) into a strategy.
 
-    ``eps``/``delta`` parameterize the approximate backends; exact ones
-    ignore them.  Accepts the legacy ``conf_method`` names
-    ``"decomposition"``/``"enumeration"`` for the shims' sake.
+    ``eps``/``delta`` parameterize the approximate backends, ``backend``
+    selects their trial engine (``"numpy"``/``"python"``/``"auto"``);
+    exact strategies ignore all three.  Accepts the legacy
+    ``conf_method`` names ``"decomposition"``/``"enumeration"``.
     """
     if isinstance(spec, ConfidenceStrategy):
         return spec
@@ -170,6 +197,14 @@ def resolve_strategy(
         raise UnknownStrategyError(
             f"unknown confidence strategy {spec!r}; registered: {strategy_names()}"
         ) from None
+    # Third-party strategies registered against the original contract
+    # (``cls(eps=..., delta=...)``) may not know about trial backends;
+    # only pass the kwarg to classes that declare it.
+    parameters = inspect.signature(cls.__init__).parameters
+    if "backend" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    ):
+        return cls(eps=eps, delta=delta, backend=backend)
     return cls(eps=eps, delta=delta)
 
 
@@ -179,7 +214,12 @@ class ExactDecomposition(ConfidenceStrategy):
 
     name = "exact-decomposition"
 
-    def __init__(self, eps: float | None = None, delta: float | None = None):
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        backend: str | None = None,
+    ):
         pass
 
     def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
@@ -193,7 +233,12 @@ class ExactEnumeration(ConfidenceStrategy):
 
     name = "exact-enumeration"
 
-    def __init__(self, eps: float | None = None, delta: float | None = None):
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        backend: str | None = None,
+    ):
         pass
 
     def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
@@ -203,20 +248,36 @@ class ExactEnumeration(ConfidenceStrategy):
 
 @register_strategy
 class KarpLuby(ConfidenceStrategy):
-    """The (ε, δ) FPRAS of Proposition 4.2 / Corollary 4.3."""
+    """The (ε, δ) FPRAS of Proposition 4.2 / Corollary 4.3.
+
+    ``backend`` selects the trial engine behind
+    :func:`repro.confidence.batch.batch_approximate_confidence`, which
+    draws the whole m = ⌈3·|F|·ln(2/δ)/ε²⌉ budget as one block:
+    ``"numpy"`` vectorizes it, ``"python"`` is the dependency-free
+    fallback, and ``None`` / ``"auto"`` picks numpy when importable.
+    The statistical guarantee is identical either way.
+    """
 
     name = "karp-luby"
 
-    def __init__(self, eps: float | None = None, delta: float | None = None):
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        backend: str | None = None,
+    ):
         self.eps = DEFAULT_EPS if eps is None else eps
         self.delta = DEFAULT_DELTA if delta is None else delta
+        self.backend = resolve_backend(backend)
 
     @property
     def cache_token(self) -> tuple:
-        return (self.name, self.eps, self.delta)
+        return (self.name, self.eps, self.delta, self.backend)
 
     def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
-        estimate = approximate_confidence(dnf, self.eps, self.delta, rng)
+        estimate = batch_approximate_confidence(
+            dnf, self.eps, self.delta, rng, backend=self.backend
+        )
         return ConfidenceReport(
             estimate.estimate,
             self.name,
@@ -230,21 +291,32 @@ class KarpLuby(ConfidenceStrategy):
 
 @register_strategy
 class NaiveMonteCarlo(ConfidenceStrategy):
-    """World-sampling baseline with an additive Hoeffding guarantee only."""
+    """World-sampling baseline with an additive Hoeffding guarantee only.
+
+    With ``backend="numpy"`` the sample worlds are drawn as one block;
+    :meth:`compute_batch` goes further and draws ONE shared block for
+    the whole batch of tuples, evaluating every tuple's DNF against the
+    same worlds (the per-tuple additive Hoeffding bound holds marginally
+    for each tuple; estimates across tuples become correlated).
+    """
 
     name = "naive-mc"
 
-    def __init__(self, eps: float | None = None, delta: float | None = None):
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        backend: str | None = None,
+    ):
         self.eps = DEFAULT_EPS if eps is None else eps
         self.delta = DEFAULT_DELTA if delta is None else delta
+        self.backend = resolve_backend(backend)
 
     @property
     def cache_token(self) -> tuple:
-        return (self.name, self.eps, self.delta)
+        return (self.name, self.eps, self.delta, self.backend)
 
-    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
-        samples = naive_sample_size_additive(self.eps, self.delta)
-        estimate = naive_confidence(dnf, samples, rng)
+    def _report(self, dnf: Dnf, estimate) -> ConfidenceReport:
         exact = dnf.is_empty or dnf.is_trivially_true
         return ConfidenceReport(
             estimate.estimate,
@@ -255,6 +327,20 @@ class NaiveMonteCarlo(ConfidenceStrategy):
             eps=self.eps,
             delta=self.delta,
         )
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        samples = naive_sample_size_additive(self.eps, self.delta)
+        estimate = batch_naive_confidence(dnf, samples, rng, backend=self.backend)
+        return self._report(dnf, estimate)
+
+    def compute_batch(
+        self, dnfs: Sequence[Dnf], rng: random.Random
+    ) -> list[ConfidenceReport]:
+        samples = naive_sample_size_additive(self.eps, self.delta)
+        estimates = shared_block_confidences(
+            dnfs, samples, rng, backend=self.backend
+        )
+        return [self._report(dnf, est) for dnf, est in zip(dnfs, estimates)]
 
 
 @register_strategy
@@ -281,15 +367,17 @@ class AutoStrategy(ConfidenceStrategy):
         self,
         eps: float | None = None,
         delta: float | None = None,
+        backend: str | None = None,
         max_exact_size: int = 16,
         max_exact_variables: int = 24,
     ):
         self.eps = DEFAULT_EPS if eps is None else eps
         self.delta = DEFAULT_DELTA if delta is None else delta
+        self.backend = resolve_backend(backend)
         self.max_exact_size = max_exact_size
         self.max_exact_variables = max_exact_variables
         self._exact = ExactDecomposition()
-        self._sampler = KarpLuby(self.eps, self.delta)
+        self._sampler = KarpLuby(self.eps, self.delta, backend=self.backend)
 
     @property
     def cache_token(self) -> tuple:
@@ -297,6 +385,7 @@ class AutoStrategy(ConfidenceStrategy):
             self.name,
             self.eps,
             self.delta,
+            self.backend,
             self.max_exact_size,
             self.max_exact_variables,
         )
@@ -310,10 +399,7 @@ class AutoStrategy(ConfidenceStrategy):
             return self._exact.name
         return self._sampler.name
 
-    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
-        method = self.choose(dnf)
-        backend = self._exact if method == self._exact.name else self._sampler
-        report = backend.compute(dnf, rng)
+    def _rebrand(self, report: ConfidenceReport, method: str) -> ConfidenceReport:
         return ConfidenceReport(
             report.value,
             self.name,
@@ -323,3 +409,29 @@ class AutoStrategy(ConfidenceStrategy):
             eps=report.eps,
             delta=report.delta,
         )
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        method = self.choose(dnf)
+        chosen = self._exact if method == self._exact.name else self._sampler
+        return self._rebrand(chosen.compute(dnf, rng), method)
+
+    def compute_batch(
+        self, dnfs: Sequence[Dnf], rng: random.Random
+    ) -> list[ConfidenceReport]:
+        """Route the batch per tuple, then run each backend's batched path.
+
+        Exact-routed tuples run individually (decomposition is already
+        cheap on them); all sampler-routed tuples go through the
+        sampler's :meth:`compute_batch` so trial drawing is amortized.
+        """
+        methods = [self.choose(dnf) for dnf in dnfs]
+        reports: list[ConfidenceReport | None] = [None] * len(dnfs)
+        sampled = [i for i, m in enumerate(methods) if m == self._sampler.name]
+        for i, (dnf, method) in enumerate(zip(dnfs, methods)):
+            if method == self._exact.name:
+                reports[i] = self._rebrand(self._exact.compute(dnf, rng), method)
+        if sampled:
+            batch = self._sampler.compute_batch([dnfs[i] for i in sampled], rng)
+            for i, report in zip(sampled, batch):
+                reports[i] = self._rebrand(report, self._sampler.name)
+        return reports

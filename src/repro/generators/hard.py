@@ -15,7 +15,6 @@ polynomial Karp–Luby scaling shape claimed by Theorem 3.4 / Cor. 4.3.
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
 
 from repro.confidence.dnf import Dnf
 from repro.urel.conditions import Condition

@@ -10,7 +10,7 @@ database, each tuple gets one fresh Boolean variable.
 from __future__ import annotations
 
 import random
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.urel.conditions import TOP, Condition
 from repro.urel.udatabase import UDatabase

@@ -2,7 +2,7 @@
 
 from repro.urel.conditions import TOP, Condition
 from repro.urel.enumerate import WorldLimitError, enumerate_worlds, from_possible_worlds
-from repro.urel.evaluate import UEvaluator, UResult, USession, evaluate
+from repro.urel.evaluate import UEvaluator, UResult
 from repro.urel.translate import (
     approx_confidence_relation,
     exact_confidence_relation,
@@ -21,9 +21,7 @@ __all__ = [
     "URelation",
     "UDatabase",
     "UEvaluator",
-    "USession",
     "UResult",
-    "evaluate",
     "enumerate_worlds",
     "from_possible_worlds",
     "WorldLimitError",

@@ -14,14 +14,13 @@ engine, but on the succinct representation:
   approximate σ̂ with per-tuple error accounting is layered on top in
   `repro.core.approx_select` by overriding :meth:`UEvaluator.approx_select`.
 
-Use :class:`USession` for the paper's session style (``R := query``),
-which threads one growing W table through consecutive assignments.
+For the paper's session style (``R := query``, one growing W table
+threaded through consecutive assignments) use ``repro.connect(db)``.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass
 
 from repro.algebra.operators import (
@@ -42,8 +41,7 @@ from repro.algebra.operators import (
     Select,
     Union,
 )
-from repro.algebra.builder import Q
-from repro.algebra.expressions import Cmp, Const, Attr
+from repro.algebra.expressions import Attr, Cmp, Const
 from repro.urel.translate import (
     approx_confidence_relation,
     exact_confidence_relation,
@@ -53,7 +51,7 @@ from repro.urel.udatabase import UDatabase
 from repro.urel.urelation import URelation
 from repro.util.rng import ensure_rng
 
-__all__ = ["UEvaluator", "USession", "UResult", "evaluate"]
+__all__ = ["UEvaluator", "UResult"]
 
 
 @dataclass
@@ -209,62 +207,3 @@ class UEvaluator:
         return joined
 
 
-class USession:
-    """Deprecated shim over :class:`repro.engine.ProbDB`.
-
-    Mirrors the paper's Example 2.2 session style (``R := …; S := …``).
-    New code should use ``repro.connect(db)``, which adds strategy
-    selection, string queries, explain plans, and memoization; this shim
-    delegates to an engine session configured for the legacy behavior
-    (exact ``conf_method`` backend, no result caching).
-    """
-
-    def __init__(
-        self,
-        db: UDatabase,
-        conf_method: str = "decomposition",
-        rng: random.Random | int | None = None,
-    ):
-        warnings.warn(
-            "USession is deprecated; use repro.connect(db) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.engine.probdb import ProbDB
-
-        self.db = db
-        self._engine = ProbDB(
-            db, strategy=conf_method, rng=rng, copy=False, cache_size=0
-        )
-        self._evaluator = self._engine._evaluator
-
-    def run(self, query: Query | Q) -> UResult:
-        """Evaluate a query without storing its result."""
-        result = self._engine.query(query)
-        return UResult(result.relation, result.complete)
-
-    def assign(self, name: str, query: Query | Q) -> URelation:
-        """``name := query`` — evaluate and store (completeness tracked)."""
-        return self._engine.assign(name, query).relation
-
-
-def evaluate(
-    query: Query | Q,
-    db: UDatabase,
-    conf_method: str = "decomposition",
-    rng: random.Random | int | None = None,
-) -> URelation:
-    """Deprecated one-shot evaluation; use ``repro.connect(db).query(...)``.
-
-    Delegates to an engine session on a private copy of the database, so
-    the input is not modified.
-    """
-    warnings.warn(
-        "top-level evaluate() is deprecated; use repro.connect(db).query(...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.engine.probdb import ProbDB
-
-    engine = ProbDB(db, strategy=conf_method, rng=rng, copy=True, cache_size=0)
-    return engine.query(query).relation

@@ -7,6 +7,7 @@ from fractions import Fraction
 
 import pytest
 
+import repro
 from repro.algebra.relations import Relation
 from repro.generators.coins import (
     coin_database,
@@ -16,7 +17,7 @@ from repro.generators.coins import (
     posterior_query,
     toss_query,
 )
-from repro.urel import UDatabase, USession
+from repro.urel import UDatabase
 from repro.worlds import PossibleWorldsDB
 
 
@@ -50,9 +51,9 @@ def coin_pwdb() -> PossibleWorldsDB:
 
 
 @pytest.fixture
-def coin_session_after_T() -> USession:
-    """A U-relational session with R, S, T of Example 2.2 assigned."""
-    session = USession(coin_database())
+def coin_session_after_T() -> repro.ProbDB:
+    """An engine session with R, S, T of Example 2.2 assigned."""
+    session = repro.connect(coin_database(), strategy="exact-decomposition")
     session.assign("R", pick_coin_query())
     session.assign("S", toss_query(2))
     session.assign("T", evidence_query(["H", "H"]))

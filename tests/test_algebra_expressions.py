@@ -10,10 +10,8 @@ from hypothesis import given, strategies as st
 from repro.algebra.expressions import (
     And,
     Arith,
-    Attr,
     BoolConst,
     Cmp,
-    Const,
     FALSE,
     Not,
     Or,

@@ -23,9 +23,9 @@ from repro.algebra.operators import (
     Select,
     Union,
 )
+import repro
 from repro.algebra.parser import ParseError, parse_query, parse_session
 from repro.generators.coins import coin_database
-from repro.urel import USession
 
 EXAMPLE_22_SCRIPT = """
 # Example 2.2, in the textual algebra.
@@ -177,7 +177,7 @@ class TestParseErrors:
 class TestSessionScripts:
     def test_example_22_full_script(self):
         db = coin_database()
-        session = USession(db)
+        session = repro.connect(db, strategy="exact-decomposition")
         for name, query in parse_session(EXAMPLE_22_SCRIPT):
             session.assign(name, query)
         u = session.db.relation("U").to_complete()
@@ -192,7 +192,7 @@ class TestSessionScripts:
 
     def test_aselect_script_round_trip(self):
         db = coin_database()
-        session = USession(db)
+        session = repro.connect(db, strategy="exact-decomposition")
         script = EXAMPLE_22_SCRIPT + """
         V := aselect[P1 / P2 <= 0.5 ; conf(CoinType) as P1, conf() as P2](T);
         """

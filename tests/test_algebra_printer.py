@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -15,7 +14,6 @@ from repro.algebra.expressions import (
     Not,
     Or,
     col,
-    lit,
 )
 from repro.algebra.operators import (
     ApproxSelect,

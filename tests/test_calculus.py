@@ -15,8 +15,6 @@ from repro.calculus import (
     ExistentialQuery,
     QVar,
     boolean_confidence,
-    compile_conjunctive,
-    compile_existential,
     probability,
     resolve_positional,
     theorem_44_algebra,
@@ -25,7 +23,8 @@ from repro.calculus import (
 )
 from repro.generators.coins import coin_database, pick_coin_query, toss_query
 from repro.generators.tpdb import tuple_independent
-from repro.urel import UEvaluator, USession, enumerate_worlds
+import repro
+from repro.urel import UEvaluator, enumerate_worlds
 from repro.worlds.database import PossibleWorldsDB, World
 
 X, Y, Z = QVar("x"), QVar("y"), QVar("z")
@@ -182,7 +181,7 @@ class TestCompilation:
 class TestTheorem44:
     def _coin_db(self):
         db = coin_database()
-        session = USession(db)
+        session = repro.connect(db, strategy="exact-decomposition")
         session.assign("R", pick_coin_query())
         session.assign("S", toss_query(2))
         return db

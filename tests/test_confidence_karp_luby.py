@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 import random
-from fractions import Fraction
 
 import pytest
 
@@ -69,9 +68,9 @@ class TestBounds:
             karp_luby_sample_size(0.1, 0, 1)
 
     def test_delta_prime_and_rounds_inverse(self):
-        l = rounds_for(0.1, 0.01)
-        assert delta_prime(0.1, l) <= 0.01
-        assert delta_prime(0.1, l - 1) > 0.01
+        rounds = rounds_for(0.1, 0.01)
+        assert delta_prime(0.1, rounds) <= 0.01
+        assert delta_prime(0.1, rounds - 1) > 0.01
 
     def test_eps_for_rounds_inverse(self):
         eps = eps_for_rounds(0.05, 400)

@@ -7,8 +7,6 @@ Theorem 6.7 doubling driver.
 
 from __future__ import annotations
 
-import math
-import random
 from fractions import Fraction
 
 import pytest
@@ -33,12 +31,13 @@ from repro.generators.coins import (
     toss_query,
 )
 from repro.generators.tpdb import tuple_independent
-from repro.urel import USession, UEvaluator
+import repro
+from repro.urel import UEvaluator
 
 
 def _coin_db_with_T():
     db = coin_database()
-    session = USession(db)
+    session = repro.connect(db, strategy="exact-decomposition")
     session.assign("R", pick_coin_query())
     session.assign("S", toss_query(2))
     session.assign("T", evidence_query(["H", "H"]))
@@ -99,12 +98,12 @@ class TestApproxSigmaHat:
     def test_bound_matches_lemma_64_shape(self):
         """Per decision: bound ≤ k·δ′(max(ε_ψ, ε₀), l)."""
         db = _coin_db_with_T()
-        l = 500
-        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=l, rng=8)
+        rounds = 500
+        evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=rounds, rng=8)
         out = evaluator.evaluate(query(_posterior_select()))
         k = 2
         for record in evaluator.decision_log:
-            ceiling = k * delta_prime(max(record.decision.eps_psi, 0.05), l)
+            ceiling = k * delta_prime(max(record.decision.eps_psi, 0.05), rounds)
             assert record.decision.error_bound <= min(0.5, ceiling) + 1e-12
         assert out.worst_bound() <= 0.5
 
@@ -207,9 +206,9 @@ class TestExample65:
 
 class TestProposition66:
     def test_closed_form(self):
-        k, d, n, eps0, l = 2, 1, 4, 0.1, 500
-        expected = min(1.0, k * d * n ** (k * d) * delta_prime(eps0, l))
-        assert proposition_66_bound(k, d, n, eps0, l) == pytest.approx(expected)
+        k, d, n, eps0, rounds = 2, 1, 4, 0.1, 500
+        expected = min(1.0, k * d * n ** (k * d) * delta_prime(eps0, rounds))
+        assert proposition_66_bound(k, d, n, eps0, rounds) == pytest.approx(expected)
 
     def test_caps_at_one(self):
         assert proposition_66_bound(3, 2, 10, 0.01, 1) == 1.0
@@ -227,16 +226,16 @@ class TestProposition66:
         db = _coin_db_with_T()
         ideal = UEvaluator(db, copy_db=True).evaluate(query(_posterior_select()))
         ideal_rows = {vals[0] for _, vals in ideal.relation.rows}
-        l = 800
+        rounds_budget = 800
         flips = 0
         runs = 20
         for seed in range(runs):
-            evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=l, rng=seed)
+            evaluator = ApproxQueryEvaluator(db, eps0=0.05, rounds=rounds_budget, rng=seed)
             out = evaluator.evaluate(query(_posterior_select()))
             got = {vals[0] for _, vals in out.relation.rows}
             if got != ideal_rows:
                 flips += 1
-        bound = proposition_66_bound(2, 1, 2, 0.05, l)
+        bound = proposition_66_bound(2, 1, 2, 0.05, rounds_budget)
         assert flips / runs <= max(bound * 3, 0.2)
 
 
@@ -260,7 +259,7 @@ class TestTheorem67Driver:
         report = evaluate_with_guarantee(
             _posterior_select(), db, delta=0.02, eps0=0.05, rng=18
         )
-        rounds_seq = [l for l, _ in report.history]
+        rounds_seq = [budget for budget, _ in report.history]
         assert rounds_seq == sorted(rounds_seq)
         for a, b in zip(rounds_seq, rounds_seq[1:]):
             assert b <= 2 * a

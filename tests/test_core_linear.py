@@ -9,7 +9,7 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algebra.expressions import And, Or, col, lit
+from repro.algebra.expressions import col, lit
 from repro.core.intervals import Orthotope, relative_interval, singularity_interval
 from repro.core.linear import (
     EPS_CAP,

@@ -9,7 +9,6 @@ the HAVING-style use of Figure 3 over running means.
 from __future__ import annotations
 
 import math
-import random
 from fractions import Fraction
 
 import pytest

@@ -9,7 +9,7 @@ Covers the acceptance criteria of the `repro.engine` redesign:
   large non-read-once DNFs (and ``explain`` reports the choice);
 * one seed threaded through the facade makes whole runs reproducible;
 * the per-session memo cache makes repeated computations free;
-* the deprecated ``USession`` / ``evaluate`` shims still work and warn.
+* the deprecated ``USession`` / ``evaluate`` shims are gone for good.
 """
 
 from __future__ import annotations
@@ -129,6 +129,27 @@ class TestConnectForms:
     def test_unknown_strategy_raises(self):
         with pytest.raises(repro.UnknownStrategyError):
             repro.connect(coin_database(), strategy="quantum")
+
+    def test_legacy_plugin_strategy_without_backend_param(self):
+        """Strategies registered against the PR-1 contract still resolve."""
+        from repro.engine import strategies as strategies_module
+
+        @repro.register_strategy
+        class LegacyStrategy(repro.ConfidenceStrategy):
+            name = "legacy-test-strategy"
+
+            def __init__(self, eps=None, delta=None):  # no backend kwarg
+                self.eps = eps
+
+            def compute(self, dnf, rng):
+                return repro.ConfidenceReport(0.5, self.name, self.name, exact=True)
+
+        try:
+            chosen = resolve_strategy("legacy-test-strategy", eps=0.2, backend="python")
+            assert chosen.name == "legacy-test-strategy"
+            assert chosen.eps == 0.2
+        finally:
+            del strategies_module._REGISTRY["legacy-test-strategy"]
 
 
 class TestAutoStrategy:
@@ -308,9 +329,13 @@ class TestMemoCache:
         udb = bipartite_2dnf_database(10, 10, edge_probability=0.5, rng=4)
         db = repro.connect(udb, eps=0.3, delta=0.2, rng=0)
         db.confidence("Hard", strategy="karp-luby")
-        # The override resolves with the session's (ε, δ), not the defaults.
+        # The override resolves with the session's (ε, δ) and trial
+        # backend, not the defaults.
+        from repro.confidence.batch import default_backend
+
         cached_keys = [k for k in db._cache._data if k[0] == "conf"]
-        assert any(k[-1] == ("karp-luby", 0.3, 0.2) for k in cached_keys)
+        expected = ("karp-luby", 0.3, 0.2, default_backend())
+        assert any(k[-1] == expected for k in cached_keys)
 
     def test_strategy_swap_invalidates_query_cache(self):
         """Swapping db.strategy must not serve results of the old one."""
@@ -345,30 +370,40 @@ class TestMemoCache:
         assert db.cache_stats["hits"] > hits_before
 
 
-class TestDeprecatedShims:
-    def test_usession_still_works_and_warns(self, coin_udb):
-        with pytest.warns(DeprecationWarning):
-            session = repro.USession(coin_udb)
+class TestDeprecatedShimsRemoved:
+    """The PR-1 ``USession`` / ``evaluate`` shims completed their sunset."""
+
+    def test_usession_is_gone(self):
+        from repro import urel
+
+        assert not hasattr(repro, "USession")
+        assert not hasattr(urel, "USession")
+
+    def test_toplevel_evaluate_is_gone(self):
+        import types
+
+        from repro.urel import evaluate as evaluate_module
+
+        assert not hasattr(repro, "evaluate")
+        # `repro.urel.evaluate` survives only as the submodule, not as
+        # the old one-shot helper function.
+        assert isinstance(evaluate_module, types.ModuleType)
+        assert not hasattr(evaluate_module, "evaluate")
+        assert "evaluate" not in evaluate_module.__all__
+
+    def test_connect_replaces_the_session_shim(self, coin_udb):
         from repro.generators.coins import (
             evidence_query,
             pick_coin_query,
             toss_query,
         )
 
+        session = repro.connect(coin_udb, strategy="exact-decomposition")
         session.assign("R", pick_coin_query())
         session.assign("S", toss_query(2))
         session.assign("T", evidence_query(["H", "H"]))
         u = session.assign("U", posterior_query())
         assert u.to_complete().rows == EXPECTED_U
-
-    def test_toplevel_evaluate_still_works_and_warns(self, coin_udb):
-        from repro.algebra.builder import rel
-
-        with pytest.warns(DeprecationWarning):
-            result = repro.evaluate(
-                rel("Coins").project(["CoinType"]), coin_udb
-            )
-        assert result.possible_tuples().rows == {("fair",), ("2headed",)}
 
     def test_version_is_exposed(self):
         assert repro.__version__.count(".") == 2

@@ -9,7 +9,7 @@ import pytest
 from repro.algebra.builder import query, rel
 from repro.algebra.expressions import col, lit
 from repro.algebra.relations import Relation
-from repro.confidence import probability_by_decomposition, probability_by_enumeration
+from repro.confidence import probability_by_decomposition
 from repro.generators import (
     alarm_confidence_query,
     bipartite_2dnf,
@@ -26,7 +26,8 @@ from repro.generators import (
     tuple_independent,
 )
 from repro.provenance import evaluate_with_provenance
-from repro.urel import UEvaluator, USession, enumerate_worlds
+import repro
+from repro.urel import UEvaluator, enumerate_worlds
 
 
 class TestTupleIndependent:
@@ -94,16 +95,16 @@ class TestCleaningScenario:
     def test_repair_gives_one_version_per_person(self):
         data = dirty_person_records(5, rng=7)
         db = data.database()
-        session = USession(db)
-        clean = session.assign("Clean", clean_worlds_query())
+        session = repro.connect(db, strategy="exact-decomposition")
+        clean = session.assign("Clean", clean_worlds_query()).relation
         pids = {vals[0] for _, vals in clean.rows}
         assert pids == set(range(5))
 
     def test_city_confidences_sum_to_one_per_person(self):
         data = dirty_person_records(4, rng=8)
-        session = USession(data.database())
+        session = repro.connect(data.database(), strategy="exact-decomposition")
         session.assign("Clean", clean_worlds_query())
-        conf = session.run(city_confidence_query()).relation.to_complete()
+        conf = session.query(city_confidence_query()).relation.to_complete()
         by_person: dict[int, Fraction] = {}
         for pid, _city, p in conf.rows:
             by_person[pid] = by_person.get(pid, Fraction(0)) + p
@@ -111,10 +112,10 @@ class TestCleaningScenario:
 
     def test_confident_selection_exact(self):
         data = dirty_person_records(4, rng=9)
-        session = USession(data.database())
+        session = repro.connect(data.database(), strategy="exact-decomposition")
         session.assign("Clean", clean_worlds_query())
-        out = session.run(confident_city_selection(0.6)).relation
-        conf = session.run(city_confidence_query()).relation.to_complete()
+        out = session.query(confident_city_selection(0.6)).relation
+        conf = session.query(city_confidence_query()).relation.to_complete()
         expected = {(pid, city) for pid, city, p in conf.rows if p >= Fraction(6, 10)}
         got = {(vals[0], vals[1]) for _, vals in out.rows}
         assert got == expected
@@ -123,8 +124,8 @@ class TestCleaningScenario:
 class TestSensorScenario:
     def test_state_has_one_level_per_sensor_epoch(self):
         data = sensor_readings(3, 2, rng=11)
-        session = USession(data.database())
-        state = session.assign("State", true_levels_query())
+        session = repro.connect(data.database(), strategy="exact-decomposition")
+        session.assign("State", true_levels_query())
         pw = enumerate_worlds(session.db, max_worlds=100000)
         for world in pw.worlds[:5]:
             keys = [
@@ -134,20 +135,20 @@ class TestSensorScenario:
 
     def test_alarm_confidence_in_unit_interval(self):
         data = sensor_readings(3, 2, rng=12)
-        session = USession(data.database())
+        session = repro.connect(data.database(), strategy="exact-decomposition")
         session.assign("State", true_levels_query())
-        conf = session.run(alarm_confidence_query()).relation.to_complete()
+        conf = session.query(alarm_confidence_query()).relation.to_complete()
         assert conf.rows  # at least one sensor possibly hot
         for _sensor, p in conf.rows:
             assert 0 < p <= 1
 
     def test_hot_selection_consistent_with_confidence(self):
         data = sensor_readings(4, 2, rng=13)
-        session = USession(data.database())
+        session = repro.connect(data.database(), strategy="exact-decomposition")
         session.assign("State", true_levels_query())
         threshold = 0.5
-        out = session.run(hot_sensor_selection(threshold)).relation
-        conf = session.run(alarm_confidence_query()).relation.to_complete()
+        out = session.query(hot_sensor_selection(threshold)).relation
+        conf = session.query(alarm_confidence_query()).relation.to_complete()
         expected = {s for s, p in conf.rows if p >= Fraction(1, 2)}
         got = {vals[0] for _, vals in out.rows}
         assert got == expected

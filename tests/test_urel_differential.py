@@ -24,7 +24,6 @@ from repro.generators.coins import (
     toss_query,
 )
 from repro.urel import (
-    UDatabase,
     UEvaluator,
     enumerate_worlds,
     from_possible_worlds,
@@ -135,10 +134,10 @@ class TestCoinPipelineAgreement:
     """The full Example 2.2 pipeline agrees across engines."""
 
     def test_posterior_agrees(self, coin_udb, coin_pwdb):
-        from repro.urel import USession
+        import repro
         from repro.worlds import evaluate as w_evaluate, evaluate_certain
 
-        session = USession(coin_udb)
+        session = repro.connect(coin_udb, strategy="exact-decomposition")
         session.assign("R", pick_coin_query())
         session.assign("S", toss_query(2))
         session.assign("T", evidence_query(["H", "H"]))
@@ -151,10 +150,10 @@ class TestCoinPipelineAgreement:
         assert u_succinct == u_reference
 
     def test_unfolded_session_matches_worlds_engine(self, coin_udb, coin_pwdb):
-        from repro.urel import USession
+        import repro
         from repro.worlds import evaluate as w_evaluate
 
-        session = USession(coin_udb)
+        session = repro.connect(coin_udb, strategy="exact-decomposition")
         session.assign("R", pick_coin_query())
         session.assign("S", toss_query(2))
         unfolded = enumerate_worlds(session.db)

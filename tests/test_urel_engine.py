@@ -14,25 +14,26 @@ from repro.algebra.builder import literal, query, rel
 from repro.algebra.expressions import col
 from repro.algebra.relations import Relation
 from repro.generators.coins import (
-    coin_database,
-    evidence_query,
     pick_coin_query,
-    posterior_query,
     toss_query,
 )
+import repro
 from repro.urel import (
     TOP,
     Condition,
     UDatabase,
     URelation,
-    USession,
     VariableTable,
-    evaluate,
     exact_confidence_relation,
     translate_repair_key,
     tuple_confidence,
 )
 from repro.worlds.repair import RepairError
+
+
+def _session(db: UDatabase) -> repro.ProbDB:
+    """An exact, in-place engine session (the old ``USession`` behavior)."""
+    return repro.connect(db, strategy="exact-decomposition")
 
 
 def _ti_relation() -> tuple[URelation, VariableTable]:
@@ -202,8 +203,8 @@ class TestFigure1:
     """The exact U-relational databases of Figure 1."""
 
     def test_u_r_and_w_after_r(self, coin_udb):
-        session = USession(coin_udb)
-        u_r = session.assign("R", pick_coin_query())
+        session = _session(coin_udb)
+        u_r = session.assign("R", pick_coin_query()).relation
         assert len(u_r) == 2
         conditions = {cond for cond, _ in u_r.rows}
         assert all(len(cond) == 1 for cond in conditions)
@@ -216,9 +217,9 @@ class TestFigure1:
         ]
 
     def test_u_s_conditions_match_figure(self, coin_udb):
-        session = USession(coin_udb)
+        session = _session(coin_udb)
         session.assign("R", pick_coin_query())
-        u_s = session.assign("S", toss_query(2))
+        u_s = session.assign("S", toss_query(2)).relation
         by_coin: dict[str, list] = {}
         for cond, values in u_s.rows:
             by_coin.setdefault(values[0], []).append(cond)
@@ -246,30 +247,32 @@ class TestFigure1:
 class TestUEngineMisc:
     def test_evaluate_does_not_mutate_db(self, coin_udb):
         before = len(coin_udb.w)
-        evaluate(query(pick_coin_query()), coin_udb)
+        repro.connect(coin_udb, strategy="exact-decomposition", copy=True).query(
+            query(pick_coin_query())
+        )
         assert len(coin_udb.w) == before
 
     def test_difference_on_uncertain_rejected(self, coin_udb):
-        session = USession(coin_udb)
+        session = _session(coin_udb)
         session.assign("R", pick_coin_query())
         with pytest.raises(ValueError, match="positive UA"):
-            session.run(rel("R") - rel("R"))
+            session.query(rel("R") - rel("R"))
 
     def test_cert_via_exact_conf(self, coin_udb):
-        session = USession(coin_udb)
+        session = _session(coin_udb)
         session.assign("R", pick_coin_query())
-        both = session.run(rel("R").poss()).relation
-        cert = session.run(rel("R").cert()).relation
+        both = session.query(rel("R").poss()).relation
+        cert = session.query(rel("R").cert()).relation
         assert len(both) == 2
         assert len(cert) == 0
 
     def test_literal_relation(self, coin_udb):
-        out = evaluate(query(literal(["Toss"], [[1], [2]])), coin_udb)
+        out = _session(coin_udb).query(query(literal(["Toss"], [[1], [2]]))).relation
         assert out.is_certain
         assert out.to_complete().rows == {(1,), (2,)}
 
     def test_session_tracks_completeness(self, coin_udb):
-        session = USession(coin_udb)
+        session = _session(coin_udb)
         session.assign("R", pick_coin_query())
         assert not coin_udb.is_complete("R")
         session.assign("C", rel("R").conf())

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 from fractions import Fraction
 
@@ -10,7 +9,7 @@ import pytest
 
 from repro.algebra.expressions import col, lit
 from repro.algebra.relations import Relation
-from repro.confidence import Dnf, KarpLubySampler, probability_by_decomposition
+from repro.confidence import KarpLubySampler, probability_by_decomposition
 from repro.core import Orthotope, epsilon_for_predicate, clamp_epsilon
 from repro.generators.hard import chain_dnf
 from repro.util.rng import ensure_rng, spawn_rng
@@ -116,12 +115,13 @@ class TestEndToEndScenarios:
             confident_city_selection,
             dirty_person_records,
         )
-        from repro.urel import USession, UEvaluator
+        import repro
+        from repro.urel import UEvaluator
         from repro.algebra.builder import query
 
         data = dirty_person_records(4, rng=31)
         db = data.database()
-        session = USession(db)
+        session = repro.connect(db, strategy="exact-decomposition")
         session.assign("Clean", clean_worlds_query())
         q = confident_city_selection(0.55)
         report = evaluate_with_guarantee(q, db, delta=0.05, eps0=0.08, rng=32)
@@ -140,12 +140,13 @@ class TestEndToEndScenarios:
             sensor_readings,
             true_levels_query,
         )
-        from repro.urel import USession, UEvaluator
+        import repro
+        from repro.urel import UEvaluator
         from repro.algebra.builder import query
 
         data = sensor_readings(3, 2, rng=41)
         db = data.database()
-        session = USession(db)
+        session = repro.connect(db, strategy="exact-decomposition")
         session.assign("State", true_levels_query())
         q = hot_sensor_selection(0.62)
         report = evaluate_with_guarantee(q, db, delta=0.05, eps0=0.08, rng=42)

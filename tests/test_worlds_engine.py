@@ -11,10 +11,9 @@ from fractions import Fraction
 import pytest
 
 from repro.algebra.builder import literal, query, rel
-from repro.algebra.expressions import col, lit
+from repro.algebra.expressions import col
 from repro.algebra.relations import Relation
 from repro.generators.coins import (
-    coin_worlds_database,
     evidence_query,
     pick_coin_query,
     posterior_query,

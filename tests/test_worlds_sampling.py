@@ -10,7 +10,8 @@ from repro.algebra.builder import rel
 from repro.algebra.expressions import col
 from repro.generators.coins import coin_database, pick_coin_query, toss_query
 from repro.generators.tpdb import tuple_independent
-from repro.urel import USession, UEvaluator
+import repro
+from repro.urel import UEvaluator
 from repro.worlds.sampling import sample_world, sampled_query_confidences
 
 
@@ -70,7 +71,7 @@ class TestSampledConfidences:
     def test_session_then_sample(self):
         """Paper-style: repair-keys in the session, sampling afterwards."""
         db = coin_database()
-        session = USession(db)
+        session = repro.connect(db, strategy="exact-decomposition")
         session.assign("R", pick_coin_query())
         session.assign("S", toss_query(2))
         # Join with R: S alone lists outcomes for *all* coin types (the
