@@ -23,6 +23,11 @@ Three subcommands:
 ``baseline``
     ``run`` + rewrite ``benchmarks/baseline.json`` in one step (use after
     an intentional performance change, then commit the file).
+    ``--best-of N`` runs the suite N times and keeps each benchmark's
+    *minimum* mean: on shared/noisy machines a single pass can bake
+    30–60% of scheduler noise into the committed numbers, silently
+    loosening the ``compare`` gate; taking minima biases the baseline
+    fast, which keeps the gate conservative.
 
 Typical CI usage::
 
@@ -119,9 +124,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_baseline(args: argparse.Namespace) -> int:
+    if args.best_of < 1:
+        raise SystemExit(f"--best-of must be >= 1, got {args.best_of}")
     snapshot = _snapshot(_run_suite(args.quick), args.quick)
+    for _ in range(args.best_of - 1):
+        rerun = _snapshot(_run_suite(args.quick), args.quick)
+        for name, stats in rerun["benchmarks"].items():
+            best = snapshot["benchmarks"].get(name)
+            if best is None or stats["mean"] < best["mean"]:
+                snapshot["benchmarks"][name] = stats
     DEFAULT_BASELINE.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {DEFAULT_BASELINE} ({len(snapshot['benchmarks'])} benchmarks)")
+    print(
+        f"wrote {DEFAULT_BASELINE} ({len(snapshot['benchmarks'])} benchmarks, "
+        f"best of {args.best_of})"
+    )
     return 0
 
 
@@ -196,6 +212,12 @@ def main(argv: list[str] | None = None) -> int:
 
     p_base = sub.add_parser("baseline", help="run the suite and rewrite baseline.json")
     p_base.add_argument("--quick", action="store_true")
+    p_base.add_argument(
+        "--best-of",
+        type=int,
+        default=1,
+        help="run the suite this many times, keep each benchmark's fastest mean",
+    )
     p_base.set_defaults(fn=cmd_baseline)
 
     p_cmp = sub.add_parser("compare", help="gate a snapshot against a baseline")

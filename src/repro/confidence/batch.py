@@ -44,12 +44,15 @@ from repro.confidence.dnf import Dnf
 from repro.confidence.karp_luby import KarpLubyEstimate
 from repro.confidence.naive_mc import NaiveEstimate
 from repro.urel.conditions import Var
+from repro.util.backends import (
+    HAS_NUMPY,
+    BackendUnavailableError,
+    available_backends,
+    default_backend,
+    np as _np,
+    resolve_backend,
+)
 from repro.util.rng import ensure_rng
-
-try:  # gated optional dependency: everything below must run without it
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
-    _np = None
 
 __all__ = [
     "HAS_NUMPY",
@@ -62,43 +65,6 @@ __all__ = [
     "batch_naive_confidence",
     "shared_block_confidences",
 ]
-
-HAS_NUMPY = _np is not None
-
-
-class BackendUnavailableError(RuntimeError):
-    """A named trial backend cannot run in this environment."""
-
-
-def available_backends() -> tuple[str, ...]:
-    """The batch backends that can run here (``python`` always can)."""
-    return ("numpy", "python") if HAS_NUMPY else ("python",)
-
-
-def default_backend() -> str:
-    """What ``backend="auto"`` resolves to: ``numpy`` when importable."""
-    return "numpy" if HAS_NUMPY else "python"
-
-
-def resolve_backend(spec: str | None) -> str:
-    """Normalize a backend spec to a concrete, runnable backend name.
-
-    ``None`` and ``"auto"`` pick :func:`default_backend`; asking for
-    ``"numpy"`` without NumPy installed raises
-    :class:`BackendUnavailableError` rather than silently degrading.
-    """
-    if spec is None or spec == "auto":
-        return default_backend()
-    if spec == "python":
-        return "python"
-    if spec == "numpy":
-        if not HAS_NUMPY:
-            raise BackendUnavailableError(
-                "backend 'numpy' requested but numpy is not importable; "
-                "install the 'fast' extra or use backend='python'"
-            )
-        return "numpy"
-    raise ValueError(f"unknown batch backend {spec!r}; expected auto/numpy/python")
 
 
 # --------------------------------------------------------------------------

@@ -158,6 +158,12 @@ def theorem_52_epsilon(
     if b == 0:
         return float(_div(alpha, beta))
     alpha_f, beta_f, b_f = float(alpha), float(beta), float(b)
+    # The touching quadratic is homogeneous in (α, β, b), so rescale to
+    # ~1 first: for extreme coefficients (|β| ≈ 1e−264 or 1e+200) the
+    # products below would under/overflow and silently select the wrong
+    # root, yielding an ε that is NOT homogeneous for the orthotope.
+    scale = max(abs(alpha_f), abs(beta_f), abs(b_f))
+    alpha_f, beta_f, b_f = alpha_f / scale, beta_f / scale, b_f / scale
     disc = beta_f * beta_f - 4.0 * b_f * (alpha_f - b_f)
     # The paper shows disc = β² − α² + (α − 2b)² ≥ 0; guard numeric noise.
     disc = max(disc, 0.0)
@@ -173,7 +179,14 @@ def theorem_52_epsilon(
     # {2/3, 1}; only ε = 2/3 makes the orthotope touch the hyperplane).
     # If the root is ≥ 1 the orthotope never reaches the hyperplane for
     # any admissible ε, so the radius is unbounded.
-    eps = (beta_f - root) / (2.0 * b_f)
+    #
+    # Computed in the conjugate form 2(α−b)/(β+√disc), algebraically
+    # equal to (β−√disc)/(2b) but free of the catastrophic cancellation
+    # β−√disc suffers when |b| ≪ β (√disc rounds to a float-neighbour of
+    # β and the difference is pure rounding error — for b ≈ 1e−16 the
+    # naive form returned radii more than 2x too large).  β+√disc > 0
+    # always: β > 0 here, and the limit b→0 recovers (α−b)/β.
+    eps = 2.0 * (alpha_f - b_f) / (beta_f + root)
     if eps >= 1.0:
         return math.inf
     return max(eps, 0.0)

@@ -46,19 +46,29 @@ __all__ = ["PlanNode", "ExplainReport", "explain_plan"]
 
 @dataclass
 class PlanNode:
-    """One operator of the plan, with its strategy annotation (if any)."""
+    """One operator of the plan, with its strategy annotation (if any).
+
+    ``path`` names the operator engine the relational operators of this
+    node run on — ``columnar[numpy]`` for the vectorized integer-coded
+    path, ``scalar[indexed]`` for the pure-Python indexed path — so a
+    plan shows not only *which confidence method* each conf operator
+    picked but also *which algebra implementation* executes the tree.
+    """
 
     operator: str
     detail: str = ""
     strategy: str | None = None
     methods: dict[str, int] = field(default_factory=dict)
     children: tuple["PlanNode", ...] = ()
+    path: str | None = None
 
     def render(self, indent: int = 0) -> str:
         pad = "  " * indent
         line = f"{pad}{self.operator}"
         if self.detail:
             line += f"[{self.detail}]"
+        if self.path is not None:
+            line += f"  ·{self.path}"
         if self.strategy is not None:
             chosen = ", ".join(
                 f"{method} ×{count}" for method, count in sorted(self.methods.items())
@@ -117,36 +127,55 @@ def explain_plan(
 
     ``evaluator`` must wrap a throwaway copy of the session database —
     explain executes repair-keys (extending that copy's W) to see the
-    DNFs that confidence operators will face.
+    DNFs that confidence operators will face.  The evaluator's operator
+    backend determines the ``path`` annotation of the relational nodes.
     """
     return ExplainReport(_build(node, evaluator, strategy), strategy.name)
 
 
+def _operator_path(evaluator) -> str:
+    """Which algebra implementation the evaluator's backend runs.
+
+    Names the configured engine; at runtime individual relations outside
+    the columnar envelope (tiny, or too many condition variables) fall
+    back to the indexed scalar operators per relation.
+    """
+    backend = getattr(evaluator, "backend", "python")
+    return "columnar[numpy]" if backend == "numpy" else "scalar[indexed]"
+
+
 def _build(node: Query, evaluator, strategy) -> PlanNode:
     children = tuple(_build(c, evaluator, strategy) for c in _children_of(node))
+    path = _operator_path(evaluator)
 
     if isinstance(node, BaseRel):
         return PlanNode("scan", node.name)
     if isinstance(node, Literal):
         return PlanNode("literal", f"{len(node.relation)} rows")
     if isinstance(node, Select):
-        return PlanNode("select", unparse_expression(node.condition), children=children)
+        return PlanNode(
+            "select", unparse_expression(node.condition), children=children, path=path
+        )
     if isinstance(node, Project):
         return PlanNode(
-            "project", ", ".join(name for _, name in node.items), children=children
+            "project",
+            ", ".join(name for _, name in node.items),
+            children=children,
+            path=path,
         )
     if isinstance(node, Rename):
         return PlanNode(
             "rename",
             ", ".join(f"{a}->{b}" for a, b in node.mapping),
             children=children,
+            path=path,
         )
     if isinstance(node, Product):
-        return PlanNode("product", children=children)
+        return PlanNode("product", children=children, path=path)
     if isinstance(node, Join):
-        return PlanNode("join", children=children)
+        return PlanNode("join", children=children, path=path)
     if isinstance(node, Union):
-        return PlanNode("union", children=children)
+        return PlanNode("union", children=children, path=path)
     if isinstance(node, Difference):
         return PlanNode("difference", children=children)
     if isinstance(node, RepairKey):

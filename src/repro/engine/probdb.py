@@ -66,9 +66,12 @@ def connect(
     ``strategy`` names the confidence backend (default ``auto``);
     ``eps``/``delta`` parameterize its approximate methods; ``rng``
     seeds every stochastic subroutine of the session; ``backend``
-    selects the Monte-Carlo trial engine (``"numpy"``/``"python"``,
-    default auto-detection — see :mod:`repro.confidence.batch`).  With
-    ``copy`` the session works on a private copy of the database.
+    selects both the Monte-Carlo trial engine *and* the relational
+    operator engine (``"numpy"`` draws trials as vectorized blocks and
+    runs the algebra on the columnar U-relation representation,
+    ``"python"`` is the dependency-free scalar path; default
+    auto-detection — see :mod:`repro.util.backends`).  With ``copy``
+    the session works on a private copy of the database.
     """
     return ProbDB(
         source,
@@ -84,21 +87,16 @@ def connect(
 class _EngineEvaluator(UEvaluator):
     """A :class:`UEvaluator` whose ``conf`` goes through the strategy registry."""
 
-    def __init__(self, db, strategy, rng, engine, copy_db=False):
+    def __init__(self, db, strategy, rng, engine, copy_db=False, backend=None):
         # cert and σ̂ conf-joins must stay exact (Example 5.7); honor an
         # explicitly-exact session strategy there, default to decomposition.
         conf_method = "enumeration" if strategy.name == "exact-enumeration" else "decomposition"
-        super().__init__(db, conf_method=conf_method, rng=rng, copy_db=copy_db)
+        super().__init__(db, conf_method=conf_method, rng=rng, copy_db=copy_db, backend=backend)
         self.strategy = strategy
         self.engine = engine
 
-    def eval(self, query):
-        from repro.algebra.operators import Conf
-
-        if isinstance(query, Conf):
-            child, _complete = self.eval(query.child)
-            return self.engine._confidence_relation(child, query.p_name, self), True
-        return super().eval(query)
+    def eval_conf(self, child, p_name):
+        return self.engine._confidence_relation(child, p_name, self)
 
 
 class ProbDB:
@@ -132,7 +130,7 @@ class ProbDB:
         # cache keys that can actually repeat).
         self._parse_cache: dict[str, Query] = {}
         self._evaluator = _EngineEvaluator(
-            self.db, self.strategy, self._rng, self, copy_db=False
+            self.db, self.strategy, self._rng, self, copy_db=False, backend=self.backend
         )
 
     @staticmethod
@@ -271,7 +269,11 @@ class ProbDB:
         # samples for answers), and a read-only introspection call must not
         # perturb the session generator or later stochastic results.
         scratch = UEvaluator(
-            self.db, conf_method="decomposition", rng=random.Random(0), copy_db=True
+            self.db,
+            conf_method="decomposition",
+            rng=random.Random(0),
+            copy_db=True,
+            backend=self.backend,
         )
         return explain_plan(node, scratch, self.strategy)
 

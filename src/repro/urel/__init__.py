@@ -1,6 +1,7 @@
 """U-relational databases: the succinct, complete representation system (Section 3)."""
 
-from repro.urel.conditions import TOP, Condition
+from repro.urel.columnar import ColumnarContext, ColumnarURelation
+from repro.urel.conditions import TOP, Condition, ConditionPool
 from repro.urel.enumerate import WorldLimitError, enumerate_worlds, from_possible_worlds
 from repro.urel.evaluate import UEvaluator, UResult
 from repro.urel.translate import (
@@ -14,7 +15,10 @@ from repro.urel.urelation import URelation
 from repro.urel.variables import VariableError, VariableTable
 
 __all__ = [
+    "ColumnarContext",
+    "ColumnarURelation",
     "Condition",
+    "ConditionPool",
     "TOP",
     "VariableTable",
     "VariableError",

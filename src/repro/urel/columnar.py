@@ -1,0 +1,757 @@
+"""Columnar U-relations: integer-coded storage with vectorized operators.
+
+The parsimonious translations of Section 3 are pure tuple algebra — no
+look at the W table — so nothing forces them through a Python loop per
+candidate tuple pair.  This module lowers a :class:`URelation` to a
+columnar encoding and runs ``select``/``project``/``rename``/``union``/
+``product``/``natural_join`` as NumPy array programs:
+
+* **data columns** are integer-coded against one session-wide value
+  dictionary (:class:`ValueCodec`), so value equality is code equality
+  across *all* relations of a session — joins and unions never remap;
+* **conditions** become an ``(n_rows × n_vars)`` matrix of per-variable
+  value codes with ``-1`` for "variable undefined", the same
+  domain-coding idea as :class:`repro.confidence.batch._EncodedDnf`
+  (codecs for variables known to W are seeded in the W table's domain
+  order, so the two coding layers agree);
+* **condition consistency** (the product/join translation's ``D``-value
+  merge) is one vectorized comparison over candidate pairs:
+  ``(L == R) | (L == -1) | (R == -1)`` AND-reduced per row, and the
+  merged conditions are ``np.where(L == -1, R, L)``;
+* **set semantics** is a lexsort-and-adjacent-compare dedup over the
+  concatenated condition+data code matrix (``np.unique(axis=0)`` would
+  sort rows as void scalars, which is orders of magnitude slower than
+  per-column int64 key passes).
+
+A :class:`ColumnarURelation` decodes back to an exactly equal
+:class:`URelation` (original value objects, interned conditions) via
+:meth:`to_urelation`; the evaluator keeps intermediates columnar through
+algebra subtrees and materializes only at confidence / repair-key /
+result boundaries.  This module imports NumPy lazily-gated like
+:mod:`repro.confidence.batch`: without NumPy the evaluator simply stays
+on the indexed scalar path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Optional
+
+from repro.algebra import schema as _schema
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    Attr,
+    BoolConst,
+    BoolExpr,
+    Cmp,
+    Const,
+    Not,
+    Or,
+    Value,
+)
+from repro.algebra.relations import ProjectionItem, normalize_projection
+from repro.urel.conditions import TOP, Condition, ConditionPool, Var
+from repro.urel.urelation import URelation
+from repro.urel.variables import VariableTable
+from repro.util.backends import HAS_NUMPY, np as _np
+
+__all__ = ["HAS_NUMPY", "ValueCodec", "ColumnarContext", "ColumnarURelation"]
+
+_PAIR_MERGE_BUDGET = 1 << 24
+"""Int64 cells a product/join pair-merge may gather per block (~128 MB)."""
+
+
+class ValueCodec:
+    """Append-only bijection between values and small integer codes.
+
+    Codes are handed out in first-seen order and never change, so arrays
+    encoded earlier stay valid as the codec grows — codecs can be shared
+    freely across relations and operator results.
+    """
+
+    __slots__ = ("values", "index", "has_nonreflexive", "conflation_events", "_lookup")
+
+    def __init__(self, seed: Sequence[Value] = ()):
+        self.values: list = []
+        self.index: dict = {}
+        self._lookup = None  # memoized object ndarray over values
+        # True once any coded value is not equal to itself (NaN): dict
+        # lookup then uses identity-or-== semantics while the scalar
+        # operators use pure ==, so integer-code comparisons must be
+        # disabled to keep the two backends setwise identical.
+        self.has_nonreflexive = False
+        # Incremented whenever a coded value lands in an ==-equality
+        # class already holding a *different type* (3 vs 3.0 vs
+        # Fraction(3)): decoding such a cell substitutes the canonical
+        # representative, which behaves identically under == / hashing
+        # but can differ under *arithmetic* (float rounding vs int
+        # exactness).  Encodes snapshot the counter to learn whether
+        # *their* cells are affected — the taint is per relation, not a
+        # session-wide kill switch.
+        self.conflation_events = 0
+        for value in seed:
+            self.code(value)
+
+    @property
+    def has_conflation(self) -> bool:
+        """Whether any cross-type ==-conflation has occurred so far."""
+        return self.conflation_events > 0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def object_array(self):
+        """The values as an object ndarray for fancy-indexed decode.
+
+        Memoized and rebuilt only when the codec has grown since the
+        last call, so decode cost is amortized O(new values) rather than
+        O(all values ever coded) per materialization.  (Only called on
+        the numpy path — the codec itself never requires numpy.)
+        """
+        arr = self._lookup
+        if arr is None or arr.shape[0] < len(self.values):
+            arr = _np.fromiter(self.values, dtype=object, count=len(self.values))
+            self._lookup = arr
+        return arr
+
+    def code(self, value) -> int:
+        """The code for ``value``, assigning a fresh one if unseen."""
+        got = self.index.get(value)
+        if got is None:
+            got = len(self.values)
+            self.index[value] = got
+            self.values.append(value)
+            if not (value == value):
+                self.has_nonreflexive = True
+        elif type(self.values[got]) is not type(value):
+            self.conflation_events += 1
+        return got
+
+
+class ColumnarContext:
+    """Session-wide coding state: one value codec, per-variable codecs.
+
+    Owned by an evaluator; every :class:`ColumnarURelation` it produces
+    shares this context, which is what makes binary operators remap-free.
+    ``w`` seeds variable codecs with the W-table domain order (matching
+    the integer coding of :mod:`repro.confidence.batch`); ``pool``
+    interns the conditions produced on decode.
+    """
+
+    __slots__ = ("w", "pool", "values", "min_rows", "max_vars", "_var_codecs")
+
+    def __init__(
+        self,
+        w: VariableTable,
+        pool: ConditionPool | None = None,
+        min_rows: int = 32,
+        max_vars: int = 64,
+    ):
+        if not HAS_NUMPY:
+            raise RuntimeError(
+                "the columnar U-relation engine requires numpy; "
+                "use the scalar backend instead"
+            )
+        self.w = w
+        self.pool = pool if pool is not None else ConditionPool()
+        self.values = ValueCodec()
+        self.min_rows = min_rows
+        self.max_vars = max_vars
+        self._var_codecs: dict[Var, ValueCodec] = {}
+
+    def worth_encoding(self, urel: URelation) -> bool:
+        """Whether ``urel`` is inside the columnar engine's envelope.
+
+        Outside it the indexed scalar path wins: relations smaller than
+        ``min_rows`` are bound by per-operator array setup, and relations
+        mentioning more than ``max_vars`` variables (tuple-independent
+        inputs have one *per row*) would make the dense
+        ``rows × variables`` condition matrix — and every vectorized
+        merge over it — super-linear in the relation size.  The
+        evaluator consults this per relation and quietly stays scalar
+        when it returns False; results are identical either way.  The
+        width probe early-exits, so asking about a huge wide relation
+        costs O(max_vars), not a full variable scan.
+        """
+        return len(urel.rows) >= self.min_rows and not urel.variables_exceed(self.max_vars)
+
+    def var_codec(self, var: Var) -> ValueCodec:
+        codec = self._var_codecs.get(var)
+        if codec is None:
+            codec = ValueCodec(self.w.domain(var) if var in self.w else ())
+            self._var_codecs[var] = codec
+        return codec
+
+    def encode(self, urel: URelation) -> "ColumnarURelation":
+        """Lower ``urel`` to columnar form.
+
+        Memoized on the relation itself (next to its other lazy caches),
+        so the encoding lives exactly as long as the relation does —
+        nothing is pinned by the context.
+        """
+        hit = urel.__dict__.get("_columnar")
+        if hit is not None and hit[0] is self:
+            return hit[1]
+        events_before = self.values.conflation_events
+        cond_vars = tuple(sorted(urel.variables(), key=repr))
+        n, k, v = len(urel.rows), len(urel.columns), len(cond_vars)
+        data = _np.empty((n, k), dtype=_np.int64)
+        conds = _np.full((n, v), -1, dtype=_np.int64)
+        var_pos = {var: j for j, var in enumerate(cond_vars)}
+        var_codecs = [self.var_codec(var) for var in cond_vars]
+        code = self.values.code
+        for i, (cond, vals) in enumerate(urel.rows):
+            for j in range(k):
+                data[i, j] = code(vals[j])
+            for var, value in cond.items():
+                j = var_pos[var]
+                conds[i, j] = var_codecs[j].code(value)
+        result = ColumnarURelation(
+            self,
+            urel.columns,
+            data,
+            cond_vars,
+            conds,
+            # Tainted when (a) a cross-type collision during THIS encode
+            # means some cell decodes to the wrong arithmetic type, or
+            # (b) a condition variable's domain holds a non-reflexive
+            # value (NaN): the scalar Condition.union calls such values
+            # inconsistent with themselves (nan != nan), while code
+            # equality would call them consistent — merges must go
+            # through the scalar operators.
+            tainted=(
+                self.values.conflation_events != events_before
+                or any(codec.has_nonreflexive for codec in var_codecs)
+            ),
+        )
+        result._decoded = urel  # decoding must return the original object
+        object.__setattr__(urel, "_columnar", (self, result))
+        return result
+
+
+class ColumnarURelation:
+    """A U-relation in columnar integer-coded form.
+
+    ``data`` is an ``(n × |columns|)`` int64 matrix of codes into
+    ``ctx.values``; ``conds`` is an ``(n × |cond_vars|)`` int64 matrix of
+    per-variable value codes, ``-1`` meaning the condition leaves that
+    variable undefined.  Rows are setwise unique.  Instances are
+    immutable once constructed; operators return new instances sharing
+    the same :class:`ColumnarContext`.
+    """
+
+    __slots__ = (
+        "ctx",
+        "columns",
+        "data",
+        "cond_vars",
+        "conds",
+        "tainted",
+        "_decoded",
+        "_columns_cache",
+    )
+
+    def __init__(
+        self,
+        ctx: ColumnarContext,
+        columns: tuple[str, ...],
+        data,
+        cond_vars: tuple[Var, ...],
+        conds,
+        tainted: bool = False,
+    ):
+        self.ctx = ctx
+        self.columns = columns
+        self.data = data
+        self.cond_vars = cond_vars
+        self.conds = conds
+        # True when some data cell's code belongs to a cross-type
+        # ==-conflated equality class: decoding then substitutes a
+        # representative of a different type, so expression evaluation
+        # over decoded objects must defer to the scalar path.  Inherited
+        # by operator results.
+        self.tainted = tainted
+        self._decoded: Optional[URelation] = None
+        self._columns_cache: dict[int, object] = {}
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def to_urelation(self) -> URelation:
+        """Decode back to a setwise-equal scalar :class:`URelation`.
+
+        Values decode to the codec's canonical objects: the first-seen
+        representative of each ``==``-equality class *session-wide*.
+        Joins require code equality to mirror value equality, so values
+        that compare equal across types (``3 == 3.0 == Fraction(3)``)
+        necessarily share one code — decoded results are always ``==``
+        to the scalar backend's (the invariant the differential suite
+        asserts) but may carry a different equal representative than the
+        per-relation objects the scalar path preserves.  Conditions are
+        interned through the context pool.  Memoized — repeated
+        materialization is free.
+        """
+        if self._decoded is None:
+            n = self.data.shape[0]
+            # Data: one fancy-indexed gather through an object array, then
+            # a C-level map(tuple, ...) — no per-element Python loop.
+            if n and self.data.shape[1]:
+                lookup = self.ctx.values.object_array()
+                data_tuples = list(map(tuple, lookup[self.data].tolist()))
+            else:
+                data_tuples = [()] * n
+            self._decoded = URelation._trusted(
+                self.columns, frozenset(zip(self._decoded_conditions(), data_tuples))
+            )
+        return self._decoded
+
+    def _decoded_conditions(self) -> list[Condition]:
+        """One interned :class:`Condition` per row — built once per
+        *distinct* condition row (group ids), then gathered."""
+        n, v = self.conds.shape
+        if n == 0 or v == 0:
+            return [TOP] * n
+        ids = _group_ids(self.conds)
+        n_groups = int(ids.max()) + 1
+        representatives = _np.empty(n_groups, dtype=_np.int64)
+        representatives[ids] = _np.arange(n)
+        var_values = [self.ctx.var_codec(var).values for var in self.cond_vars]
+        cond_vars = self.cond_vars
+        intern = self.ctx.pool.intern
+        group_conds = []
+        for row in self.conds[representatives].tolist():
+            mapping = {
+                cond_vars[j]: var_values[j][c] for j, c in enumerate(row) if c >= 0
+            }
+            group_conds.append(intern(Condition._from_map(mapping)) if mapping else TOP)
+        gathered = _np.fromiter(group_conds, dtype=object, count=n_groups)
+        return gathered[ids].tolist()
+
+    # ------------------------------------------------------------ internals
+    def _replace(
+        self, columns, data, cond_vars, conds, tainted: bool | None = None
+    ) -> "ColumnarURelation":
+        return ColumnarURelation(
+            self.ctx,
+            columns,
+            data,
+            cond_vars,
+            conds,
+            tainted=self.tainted if tainted is None else tainted,
+        )
+
+    def _deduped(
+        self, columns, data, cond_vars, conds, tainted: bool | None = None
+    ) -> "ColumnarURelation":
+        """Construct a result with setwise-unique rows."""
+        n = data.shape[0]
+        width = data.shape[1] + conds.shape[1]
+        if n > 1:
+            if width == 0:
+                data, conds = data[:1], conds[:1]
+            else:
+                v = conds.shape[1]
+                merged = _unique_rows(_np.hstack([conds, data]))
+                conds, data = merged[:, :v], merged[:, v:]
+        return self._replace(columns, data, cond_vars, conds, tainted=tainted)
+
+    def _column_objects(self, position: int):
+        """The decoded values of one data column, as an object ndarray."""
+        cached = self._columns_cache.get(position)
+        if cached is None:
+            values = self.ctx.values.values
+            codes = self.data[:, position].tolist()
+            cached = _np.fromiter(
+                (values[c] for c in codes), dtype=object, count=len(codes)
+            )
+            self._columns_cache[position] = cached
+        return cached
+
+    def _row_envs(self) -> list[dict[str, Value]]:
+        """Decoded attribute-name environments, for non-vectorizable paths."""
+        values = self.ctx.values.values
+        cols = self.columns
+        return [
+            dict(zip(cols, (values[c] for c in row))) for row in self.data.tolist()
+        ]
+
+    def _aligned_conds(self, other: "ColumnarURelation"):
+        """Both condition matrices over the union variable layout."""
+        if self.cond_vars == other.cond_vars:
+            return self.cond_vars, self.conds, other.conds
+        mine = set(self.cond_vars)
+        out_vars = self.cond_vars + tuple(
+            var for var in other.cond_vars if var not in mine
+        )
+        return out_vars, _project_conds(self, out_vars), _project_conds(other, out_vars)
+
+    def _pair_merge(
+        self,
+        other: "ColumnarURelation",
+        out_cols: tuple[str, ...],
+        li,
+        ri,
+        rkeep: Sequence[int],
+    ) -> "ColumnarURelation":
+        """Merge candidate row pairs: vectorized consistency check + union.
+
+        ``li``/``ri`` index candidate pairs into ``self``/``other``; the
+        pairs whose conditions are consistent survive with the pointwise
+        condition union and the concatenated (kept) data columns.
+
+        Processed in bounded blocks: the gathered
+        ``(pairs × union-variables)`` condition matrices are the
+        dominant transient allocation, so capping the block size keeps
+        peak memory at O(block × width) plus the surviving rows —
+        instead of materializing every candidate pair at once.
+        """
+        out_vars, left_conds, right_conds = self._aligned_conds(other)
+        rkeep = list(rkeep)
+        n_pairs = int(li.shape[0])
+        # Cells simultaneously live per pair: both gathered condition
+        # matrices + the merged output (3v int64) + the undef/ok bool
+        # masks (~v/8 each, round up to v) + the gathered data columns.
+        width = max(1, 4 * left_conds.shape[1] + self.data.shape[1] + len(rkeep))
+        block = max(1, _PAIR_MERGE_BUDGET // width)
+        data_parts, cond_parts = [], []
+        for start in range(0, max(n_pairs, 1), block):
+            bl, br = li[start : start + block], ri[start : start + block]
+            left, right = left_conds[bl], right_conds[br]
+            left_undef = left == -1
+            ok = (left_undef | (right == -1) | (left == right)).all(axis=1)
+            if not ok.all():
+                bl, br = bl[ok], br[ok]
+                left, right, left_undef = left[ok], right[ok], left_undef[ok]
+            cond_parts.append(_np.where(left_undef, right, left))
+            data_parts.append(_np.hstack([self.data[bl], other.data[br][:, rkeep]]))
+        if len(data_parts) == 1:
+            data, conds = data_parts[0], cond_parts[0]
+        else:
+            data, conds = _np.vstack(data_parts), _np.vstack(cond_parts)
+        return self._deduped(
+            out_cols, data, out_vars, conds, tainted=self.tainted or other.tainted
+        )
+
+    # ------------------------------------------------------------ operators
+    # The same parsimonious translations as URelation, array-at-a-time.
+    def select(self, condition: BoolExpr) -> "ColumnarURelation":
+        """[[σ_φ R]] — vectorized mask where φ compiles, row-at-a-time else."""
+        if self.tainted:
+            # Some cell decodes to a different-typed ==-representative,
+            # which can behave differently under arithmetic than the
+            # relation's own values (int 3 vs float 3.0 at 1e23 scale):
+            # evaluate the predicate on the scalar relation — the
+            # original objects, for base-encoded relations — and
+            # re-encode the result.
+            return self.ctx.encode(self.to_urelation().select(condition))
+        try:
+            mask = _vector_mask(condition, self)
+        except Exception:
+            # The vectorized path evaluates every operand eagerly over
+            # all rows, so a guarded expression (``B != 0 and A/B > 1``)
+            # can raise where the scalar backend's short-circuit would
+            # not.  Row-at-a-time evaluation below shares the scalar
+            # semantics exactly — including *propagating* whatever an
+            # unguarded predicate raises.
+            mask = None
+        if mask is None:
+            envs = self._row_envs()
+            mask = _np.fromiter(
+                (condition.evaluate(env) for env in envs), dtype=bool, count=len(envs)
+            )
+        return self._replace(
+            self.columns, self.data[mask], self.cond_vars, self.conds[mask]
+        )
+
+    def project(self, items: Sequence[ProjectionItem | str]) -> "ColumnarURelation":
+        """[[π_B̄ R]] — column gather for plain attributes, eval + re-encode else."""
+        normalized = normalize_projection(items)
+        out_cols = _schema.check_schema(tuple(name for _, name in normalized))
+        col_of = {c: i for i, c in enumerate(self.columns)}
+        plain = all(
+            isinstance(expr, Attr) and expr.name in col_of for expr, _ in normalized
+        )
+        if plain:
+            take = [col_of[expr.name] for expr, _ in normalized]
+            data = self.data[:, take]
+        elif self.tainted:
+            # Computed projections evaluate expressions over decoded
+            # objects; same mixed-type hazard (and fix) as in select.
+            return self.ctx.encode(self.to_urelation().project(list(items)))
+        else:
+            envs = self._row_envs()
+            code = self.ctx.values.code
+            events_before = self.ctx.values.conflation_events
+            data = _np.empty((len(envs), len(normalized)), dtype=_np.int64)
+            for i, env in enumerate(envs):
+                for j, (expr, _) in enumerate(normalized):
+                    data[i, j] = code(expr.evaluate(env))
+            if self.ctx.values.conflation_events != events_before:
+                # A computed value just collided cross-type with an
+                # existing code (its cell would decode to the wrong
+                # type) — redo on the scalar path, which keeps the
+                # computed objects themselves.
+                return self.ctx.encode(self.to_urelation().project(list(items)))
+        return self._deduped(out_cols, data, self.cond_vars, self.conds)
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColumnarURelation":
+        """ρ — free: code matrices are shared, only the schema changes."""
+        missing = set(mapping) - set(self.columns)
+        if missing:
+            raise _schema.SchemaError(
+                f"cannot rename missing attributes {sorted(missing)}"
+            )
+        new_cols = _schema.check_schema(
+            tuple(mapping.get(c, c) for c in self.columns)
+        )
+        return self._replace(new_cols, self.data, self.cond_vars, self.conds)
+
+    def union(self, other: "ColumnarURelation") -> "ColumnarURelation":
+        """[[R ∪ S]] — align layouts, stack, dedupe."""
+        odata = other.data
+        if other.columns != self.columns:
+            if set(other.columns) != set(self.columns):
+                raise _schema.SchemaError(
+                    f"incompatible schemas {other.columns} vs {self.columns}"
+                )
+            odata = odata[:, list(_schema.positions(other.columns, self.columns))]
+        out_vars, mine, theirs = self._aligned_conds(other)
+        return self._deduped(
+            self.columns,
+            _np.vstack([self.data, odata]),
+            out_vars,
+            _np.vstack([mine, theirs]),
+            tainted=self.tainted or other.tainted,
+        )
+
+    def _all_pairs_merge(
+        self, other: "ColumnarURelation", out_cols: tuple[str, ...], rkeep: Sequence[int]
+    ) -> "ColumnarURelation":
+        """Merge every (left, right) row pair, generating pairs in blocks.
+
+        The pair *index arrays* themselves are O(n1·n2); materializing
+        them up front would defeat the blocked ``_pair_merge`` bound, so
+        left-row blocks each generate their own repeat/tile slice.
+        """
+        n1, n2 = len(self), len(other)
+        if n1 * n2 <= _PAIR_MERGE_BUDGET:
+            li = _np.repeat(_np.arange(n1), n2)
+            ri = _np.tile(_np.arange(n2), n1)
+            return self._pair_merge(other, out_cols, li, ri, rkeep)
+        block_rows = max(1, _PAIR_MERGE_BUDGET // max(n2, 1))
+        parts = []
+        for start in range(0, n1, block_rows):
+            stop = min(start + block_rows, n1)
+            li = _np.repeat(_np.arange(start, stop), n2)
+            ri = _np.tile(_np.arange(n2), stop - start)
+            parts.append(self._pair_merge(other, out_cols, li, ri, rkeep))
+        # Every part shares the same column/condition layout (it is
+        # derived deterministically from self and other).
+        return self._deduped(
+            out_cols,
+            _np.vstack([p.data for p in parts]),
+            parts[0].cond_vars,
+            _np.vstack([p.conds for p in parts]),
+            tainted=self.tainted or other.tainted,
+        )
+
+    def product(self, other: "ColumnarURelation") -> "ColumnarURelation":
+        """[[R × S]] — all pairs, vectorized condition merge."""
+        out_cols = _schema.disjoint_union(self.columns, other.columns)
+        return self._all_pairs_merge(other, out_cols, range(len(other.columns)))
+
+    def natural_join(self, other: "ColumnarURelation") -> "ColumnarURelation":
+        """⋈ — hash-free key matching via sort + searchsorted, then merge.
+
+        Equal data values share one session-wide code, so key equality is
+        integer equality; candidate pairs come out of a grouped
+        repeat/tile over the sorted build side.
+        """
+        out_cols, shared = _schema.natural_join_schema(self.columns, other.columns)
+        rkeep = [i for i, c in enumerate(other.columns) if c not in set(shared)]
+        n1, n2 = len(self), len(other)
+        if not shared or n1 == 0 or n2 == 0:
+            return self._all_pairs_merge(other, out_cols, rkeep)
+        lpos = list(_schema.positions(self.columns, shared))
+        rpos = list(_schema.positions(other.columns, shared))
+        stacked = _np.vstack([self.data[:, lpos], other.data[:, rpos]])
+        inverse = _group_ids(stacked)
+        left_ids, right_ids = inverse[:n1], inverse[n1:]
+        order = _np.argsort(right_ids, kind="stable")
+        sorted_ids = right_ids[order]
+        starts = _np.searchsorted(sorted_ids, left_ids, side="left")
+        ends = _np.searchsorted(sorted_ids, left_ids, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        li = _np.repeat(_np.arange(n1), counts)
+        offsets = _np.concatenate(([0], _np.cumsum(counts)))[:-1]
+        within = _np.arange(total) - _np.repeat(offsets, counts)
+        ri = order[_np.repeat(starts, counts) + within]
+        return self._pair_merge(other, out_cols, li, ri, rkeep)
+
+
+def _row_order(matrix):
+    """A lexicographic row ordering (last column is the primary key —
+    any total order works, set semantics only needs grouping)."""
+    return _np.lexsort(matrix.T)
+
+
+def _unique_rows(matrix):
+    """The distinct rows of an int64 matrix with ≥1 column.
+
+    Equivalent to ``np.unique(matrix, axis=0)`` but via per-column
+    ``lexsort`` passes instead of a void-dtype row sort, which keeps the
+    comparison loop in int64 C code.
+    """
+    sorted_rows = matrix[_row_order(matrix)]
+    keep = _np.empty(sorted_rows.shape[0], dtype=bool)
+    keep[0] = True
+    _np.any(sorted_rows[1:] != sorted_rows[:-1], axis=1, out=keep[1:])
+    return sorted_rows[keep]
+
+
+def _group_ids(matrix):
+    """One integer id per row, equal rows sharing an id (≥1 column)."""
+    n = matrix.shape[0]
+    if n == 0:
+        return _np.empty(0, dtype=_np.int64)
+    order = _row_order(matrix)
+    sorted_rows = matrix[order]
+    boundary = _np.empty(n, dtype=bool)
+    boundary[0] = True
+    _np.any(sorted_rows[1:] != sorted_rows[:-1], axis=1, out=boundary[1:])
+    ids = _np.empty(n, dtype=_np.int64)
+    ids[order] = _np.cumsum(boundary) - 1
+    return ids
+
+
+def _project_conds(rel: ColumnarURelation, out_vars: tuple[Var, ...]):
+    """``rel``'s condition matrix re-laid-out over ``out_vars``."""
+    pos = {var: j for j, var in enumerate(rel.cond_vars)}
+    out = _np.full((len(rel), len(out_vars)), -1, dtype=_np.int64)
+    for j, var in enumerate(out_vars):
+        source = pos.get(var)
+        if source is not None:
+            out[:, j] = rel.conds[:, source]
+    return out
+
+
+# --------------------------------------------------------------------------
+# Predicate compilation: BoolExpr → boolean mask (None where not compilable)
+# --------------------------------------------------------------------------
+
+
+def _vector_mask(expr: BoolExpr, rel: ColumnarURelation):
+    """Compile a selection predicate to a boolean mask, or ``None``.
+
+    Equality atoms between attributes and constants compare integer
+    codes directly (value equality ⇔ code equality under the shared
+    codec); ordered comparisons and arithmetic run elementwise over
+    decoded object arrays.  Any unsupported shape returns ``None`` and
+    the caller falls back to per-row evaluation — semantics are
+    identical either way.
+    """
+    n = len(rel)
+    if isinstance(expr, BoolConst):
+        return _np.full(n, expr.value, dtype=bool)
+    if isinstance(expr, Not):
+        inner = _vector_mask(expr.arg, rel)
+        return None if inner is None else ~inner
+    if isinstance(expr, (And, Or)):
+        masks = [_vector_mask(arg, rel) for arg in expr.args]
+        if any(mask is None for mask in masks):
+            return None
+        out = masks[0]
+        for mask in masks[1:]:
+            out = (out & mask) if isinstance(expr, And) else (out | mask)
+        return out
+    if isinstance(expr, Cmp):
+        return _cmp_mask(expr, rel)
+    return None
+
+
+def _cmp_mask(expr: Cmp, rel: ColumnarURelation):
+    col_of = {c: i for i, c in enumerate(rel.columns)}
+    # Fast path: =/!= over attributes/constants needs no decoding at all.
+    if expr.op in ("=", "!="):
+        if isinstance(expr.left, Const) and isinstance(expr.right, Const):
+            # Constant-vs-constant never consults the codec: two distinct
+            # constants the codec has not seen would both take the unseen
+            # sentinel and spuriously compare equal.
+            equal = expr.left.value == expr.right.value
+            return _as_mask(equal if expr.op == "=" else not equal, len(rel))
+        if not rel.ctx.values.has_nonreflexive:
+            # With a NaN anywhere in the codec, code equality no longer
+            # implies value == value; fall through to the decoded object
+            # path, whose elementwise == matches the scalar backend.
+            left = _code_operand(expr.left, rel, col_of)
+            right = _code_operand(expr.right, rel, col_of)
+            if left is not None and right is not None:
+                mask = _as_mask(left == right, len(rel))
+                return mask if expr.op == "=" else ~mask
+    left = _term_objects(expr.left, rel, col_of)
+    right = _term_objects(expr.right, rel, col_of)
+    if left is None or right is None:
+        return None
+    op = expr.op
+    if op == "<":
+        mask = left < right
+    elif op == "<=":
+        mask = left <= right
+    elif op == "=":
+        mask = left == right
+    elif op == "!=":
+        mask = left != right
+    elif op == ">=":
+        mask = left >= right
+    else:
+        mask = left > right
+    return _as_mask(mask, len(rel))
+
+
+def _as_mask(mask, n: int):
+    """Broadcast constant-vs-constant comparison results to a full mask."""
+    if isinstance(mask, _np.ndarray) and mask.shape:
+        return mask.astype(bool, copy=False)
+    return _np.full(n, bool(mask), dtype=bool)
+
+
+def _code_operand(term, rel: ColumnarURelation, col_of):
+    """An operand as integer codes: a column's code vector or a constant code.
+
+    A constant never seen by the codec gets the sentinel ``-2``: it
+    cannot equal any row's code (``-1`` is taken by "undefined" in
+    condition matrices, never appears in data columns either way).  The
+    caller must not compare two constant operands through their codes —
+    two *distinct* unseen constants share the sentinel.
+    """
+    if isinstance(term, Attr):
+        position = col_of.get(term.name)
+        return None if position is None else rel.data[:, position]
+    if isinstance(term, Const):
+        return rel.ctx.values.index.get(term.value, -2)
+    return None
+
+
+def _term_objects(term, rel: ColumnarURelation, col_of):
+    """A term as decoded values (object ndarray / scalar), ``None`` if unsupported."""
+    if isinstance(term, Attr):
+        position = col_of.get(term.name)
+        return None if position is None else rel._column_objects(position)
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Arith):
+        left = _term_objects(term.left, rel, col_of)
+        right = _term_objects(term.right, rel, col_of)
+        if left is None or right is None:
+            return None
+        if term.op == "+":
+            return left + right
+        if term.op == "-":
+            return left - right
+        if term.op == "*":
+            return left * right
+        return left / right
+    return None

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Mapping
 from typing import Optional, Union
 
-__all__ = ["Condition", "TOP", "Var", "DomValue"]
+__all__ = ["Condition", "ConditionPool", "TOP", "Var", "DomValue"]
 
 Var = Hashable
 DomValue = Hashable
@@ -33,10 +33,18 @@ class Condition:
 
     def __init__(
         self,
-        assignment: Union[Mapping[Var, DomValue], Iterable[tuple[Var, DomValue]], None] = None,
+        assignment: Union[
+            "Condition", Mapping[Var, DomValue], Iterable[tuple[Var, DomValue]], None
+        ] = None,
     ):
         if assignment is None:
             mapping: dict[Var, DomValue] = {}
+        elif isinstance(assignment, Condition):
+            # Conditions are immutable, so the mapping (and its already
+            # computed hash) can be shared instead of copied and re-hashed.
+            self._map = assignment._map
+            self._hash = assignment._hash
+            return
         elif isinstance(assignment, Mapping):
             mapping = dict(assignment)
         else:
@@ -50,6 +58,18 @@ class Condition:
                 mapping[var] = value
         self._map = mapping
         self._hash = hash(frozenset(mapping.items()))
+
+    @classmethod
+    def _from_map(cls, mapping: dict[Var, DomValue]) -> "Condition":
+        """Internal: wrap an already-validated dict without copying it.
+
+        Callers must hand over ownership — the dict must never be mutated
+        afterwards.
+        """
+        self = object.__new__(cls)
+        self._map = mapping
+        self._hash = hash(frozenset(mapping.items()))
+        return self
 
     # ------------------------------------------------------------- protocol
     def __hash__(self) -> int:
@@ -104,12 +124,25 @@ class Condition:
 
         The union represents the intersection of the world sets; it is what
         the product/join translation of Section 3 computes for ``D`` values.
+
+        TOP operands return the other condition unchanged (no allocation,
+        no re-hash), and consistency is checked in the same single pass
+        that discovers the shared variables, so disjoint-variable unions
+        pay exactly one scan of the smaller condition.
         """
-        if not self.consistent_with(other):
-            return None
-        merged = dict(self._map)
-        merged.update(other._map)
-        return Condition(merged)
+        smap, omap = self._map, other._map
+        if not smap:
+            return other
+        if not omap:
+            return self
+        small = smap if len(smap) <= len(omap) else omap
+        large = omap if small is smap else smap
+        for var, value in small.items():
+            if var in large and large[var] != value:
+                return None
+        merged = dict(smap)
+        merged.update(omap)
+        return Condition._from_map(merged)
 
     def restricted_to(self, variables: Iterable[Var]) -> "Condition":
         keep = set(variables)
@@ -141,3 +174,62 @@ class Condition:
 
 TOP = Condition()
 """The empty condition: true in every world."""
+
+
+class ConditionPool:
+    """Per-database intern pool for conditions and their pairwise unions.
+
+    Joins and products merge the same pair of ``D`` values over and over
+    (every candidate tuple pair re-derives the same condition union, each
+    time re-hashing a frozenset).  The pool memoizes:
+
+    * :meth:`intern` — one canonical :class:`Condition` object per
+      extension, so equal conditions share identity (and downstream set
+      operations hash precomputed values only);
+    * :meth:`union` — the merge result (or ``None`` for inconsistent
+      pairs) per ordered pair of interned conditions.
+
+    Condition algebra never looks at the W table, so pooled results stay
+    valid for the lifetime of the database; both caches are bounded and
+    simply reset when full (they are caches, not state).
+    """
+
+    __slots__ = ("_interned", "_unions", "_max_entries")
+
+    def __init__(self, max_entries: int = 1 << 16):
+        self._interned: dict[Condition, Condition] = {TOP: TOP}
+        self._unions: dict[tuple[Condition, Condition], Optional[Condition]] = {}
+        self._max_entries = max_entries
+
+    def __len__(self) -> int:
+        return len(self._interned)
+
+    def intern(self, condition: Condition) -> Condition:
+        """The canonical object for ``condition`` (first one seen wins)."""
+        canonical = self._interned.get(condition)
+        if canonical is None:
+            if len(self._interned) >= self._max_entries:
+                self._interned.clear()
+                self._interned[TOP] = TOP
+            self._interned[condition] = condition
+            canonical = condition
+        return canonical
+
+    def union(self, left: Condition, right: Condition) -> Optional[Condition]:
+        """Memoized ``left.union(right)`` over interned results."""
+        if not left._map:
+            return self.intern(right)
+        if not right._map:
+            return self.intern(left)
+        key = (left, right)
+        try:
+            return self._unions[key]
+        except KeyError:
+            pass
+        merged = left.union(right)
+        if merged is not None:
+            merged = self.intern(merged)
+        if len(self._unions) >= self._max_entries:
+            self._unions.clear()
+        self._unions[key] = merged
+        return merged

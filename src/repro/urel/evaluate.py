@@ -14,6 +14,21 @@ engine, but on the succinct representation:
   approximate σ̂ with per-tuple error accounting is layered on top in
   `repro.core.approx_select` by overriding :meth:`UEvaluator.approx_select`.
 
+``backend`` selects the operator engine for the purely-relational
+subtrees, through the same ``resolve_backend("auto"|"numpy"|"python")``
+switch as the Monte Carlo trial backends: ``numpy`` runs
+``select``/``project``/``rename``/``union``/``product``/``natural_join``
+on the columnar integer-coded representation
+(:mod:`repro.urel.columnar`), keeping intermediates columnar across the
+subtree and materializing a scalar :class:`URelation` only at
+confidence / repair-key / possibility boundaries; ``python`` (and any
+environment without NumPy) uses the indexed scalar operators of
+:class:`URelation` directly.  Relations outside the columnar envelope
+(fewer than ``ColumnarContext.min_rows`` rows, or more than
+``max_vars`` condition variables — e.g. tuple-independent inputs with
+one variable per row) quietly stay on the indexed scalar path even
+under ``numpy``.  Both paths produce setwise-identical relations.
+
 For the paper's session style (``R := query``, one growing W table
 threaded through consecutive assignments) use ``repro.connect(db)``.
 """
@@ -22,6 +37,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Union as _Union
 
 from repro.algebra.operators import (
     ApproxConf,
@@ -42,6 +58,8 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.algebra.expressions import Attr, Cmp, Const
+from repro.urel.columnar import ColumnarContext, ColumnarURelation
+from repro.util.backends import resolve_backend
 from repro.urel.translate import (
     approx_confidence_relation,
     exact_confidence_relation,
@@ -52,6 +70,9 @@ from repro.urel.urelation import URelation
 from repro.util.rng import ensure_rng
 
 __all__ = ["UEvaluator", "UResult"]
+
+_Rep = _Union[URelation, ColumnarURelation]
+"""An intermediate result: scalar, or columnar on the numpy path."""
 
 
 @dataclass
@@ -66,9 +87,12 @@ class UEvaluator:
     """Recursive evaluator for UA queries on a U-relational database.
 
     ``conf_method`` selects the exact solver ("decomposition" or
-    "enumeration"); ``rng`` seeds all approximate operators.  When
-    ``copy_db`` is true the input database (including W) is left
-    untouched and repair-key variables go into a private copy.
+    "enumeration"); ``rng`` seeds all approximate operators; ``backend``
+    selects the relational-operator engine (``"numpy"`` columnar /
+    ``"python"`` scalar; ``None``/``"auto"`` picks numpy when
+    importable).  When ``copy_db`` is true the input database (including
+    W) is left untouched and repair-key variables go into a private
+    copy.
     """
 
     def __init__(
@@ -77,11 +101,23 @@ class UEvaluator:
         conf_method: str = "decomposition",
         rng: random.Random | int | None = None,
         copy_db: bool = True,
+        backend: str | None = None,
     ):
         self.db = db.copy() if copy_db else db
         self.conf_method = conf_method
         self.rng = ensure_rng(rng)
         self.conf_log: list = []
+        self.backend = resolve_backend(backend)
+        self._pool = self.db.condition_pool
+        if self.backend == "numpy":
+            # One coding context per database family (shared through
+            # UDatabase.copy, like the pool), so per-relation encoding
+            # memos hit across session and scratch evaluators alike.
+            if self.db.columnar_context is None:
+                self.db.columnar_context = ColumnarContext(self.db.w, self._pool)
+            self._ctx = self.db.columnar_context
+        else:
+            self._ctx = None
 
     # ------------------------------------------------------------------
     def evaluate(self, query: Query) -> UResult:
@@ -89,6 +125,81 @@ class UEvaluator:
         return UResult(relation, complete)
 
     def eval(self, query: Query) -> tuple[URelation, bool]:
+        rep, complete = self._eval_rep(query)
+        return self._materialize(rep), complete
+
+    # -- representation plumbing ---------------------------------------
+    def _materialize(self, rep: _Rep) -> URelation:
+        """A scalar :class:`URelation` for ``rep`` (decode if columnar)."""
+        return rep if isinstance(rep, URelation) else rep.to_urelation()
+
+    def _lift(self, rep: _Rep) -> _Rep:
+        """The operator-engine form of ``rep``: columnar on the numpy path.
+
+        Scalar relations outside the columnar envelope (too small to
+        amortize array setup, or too many condition variables for the
+        dense matrix — see :meth:`ColumnarContext.worth_encoding`) are
+        returned unchanged and run the indexed scalar operators instead.
+        """
+        if (
+            self._ctx is not None
+            and isinstance(rep, URelation)
+            and self._ctx.worth_encoding(rep)
+        ):
+            encoded = self._ctx.encode(rep)
+            if encoded.tainted:
+                # Encoding this relation collided cross-type with an
+                # existing code: its columnar form would decode to the
+                # wrong arithmetic type.  This relation stays scalar;
+                # unaffected relations keep the columnar path.
+                return rep
+            return encoded
+        return rep
+
+    def _lift_pair(self, left: _Rep, right: _Rep):
+        """Both operands columnar, or ``None`` to run the scalar operator.
+
+        A pair is lifted when both sides are (or are worth making)
+        columnar; if one side is already columnar, the other follows it
+        unless its variable set would blow out the dense matrix.
+        """
+        if self._ctx is None:
+            return None
+        left_c = isinstance(left, ColumnarURelation)
+        right_c = isinstance(right, ColumnarURelation)
+        if left_c and right_c:
+            if left.tainted or right.tainted or not self._pair_width_ok(left, right):
+                return None
+            return left, right
+        if left_c or right_c:
+            columnar, other = (left, right) if left_c else (right, left)
+            if columnar.tainted or other.variables_exceed(self._ctx.max_vars):
+                return None
+            encoded = self._ctx.encode(other)
+            if encoded.tainted or not self._pair_width_ok(columnar, encoded):
+                return None
+            return (left, encoded) if left_c else (encoded, right)
+        if self._ctx.worth_encoding(left) and self._ctx.worth_encoding(right):
+            el, er = self._ctx.encode(left), self._ctx.encode(right)
+            if el.tainted or er.tainted or not self._pair_width_ok(el, er):
+                return None
+            return el, er
+        return None
+
+    def _pair_width_ok(self, left: ColumnarURelation, right: ColumnarURelation) -> bool:
+        """Whether the merged condition layout stays inside the envelope.
+
+        Columnar-born intermediates are never re-checked by
+        ``worth_encoding``, so a chain of joins over tuple-independent-ish
+        inputs could otherwise accumulate a dense condition matrix far
+        beyond ``max_vars`` — exactly the shape the envelope exists to
+        keep off the columnar path.
+        """
+        union = set(left.cond_vars) | set(right.cond_vars)
+        return len(union) <= self._ctx.max_vars
+
+    # -- recursive evaluation ------------------------------------------
+    def _eval_rep(self, query: Query) -> tuple[_Rep, bool]:
         if isinstance(query, BaseRel):
             return self.db.relation(query.name), self.db.is_complete(query.name)
 
@@ -96,30 +207,42 @@ class UEvaluator:
             return URelation.from_complete(query.relation), True
 
         if isinstance(query, Select):
-            child, complete = self.eval(query.child)
-            return child.select(query.condition), complete
+            child, complete = self._eval_rep(query.child)
+            return self._lift(child).select(query.condition), complete
 
         if isinstance(query, Project):
-            child, complete = self.eval(query.child)
-            return child.project(list(query.items)), complete
+            child, complete = self._eval_rep(query.child)
+            return self._lift(child).project(list(query.items)), complete
 
         if isinstance(query, Rename):
-            child, complete = self.eval(query.child)
-            return child.rename(query.as_dict()), complete
+            child, complete = self._eval_rep(query.child)
+            return self._lift(child).rename(query.as_dict()), complete
 
         if isinstance(query, Product):
-            left, lc = self.eval(query.left)
-            right, rc = self.eval(query.right)
-            return left.product(right), lc and rc
+            left, lc = self._eval_rep(query.left)
+            right, rc = self._eval_rep(query.right)
+            pair = self._lift_pair(left, right)
+            if pair is not None:
+                return pair[0].product(pair[1]), lc and rc
+            left, right = self._materialize(left), self._materialize(right)
+            return left.product(right, pool=self._pool), lc and rc
 
         if isinstance(query, Join):
-            left, lc = self.eval(query.left)
-            right, rc = self.eval(query.right)
-            return left.natural_join(right), lc and rc
+            left, lc = self._eval_rep(query.left)
+            right, rc = self._eval_rep(query.right)
+            pair = self._lift_pair(left, right)
+            if pair is not None:
+                return pair[0].natural_join(pair[1]), lc and rc
+            left, right = self._materialize(left), self._materialize(right)
+            return left.natural_join(right, pool=self._pool), lc and rc
 
         if isinstance(query, Union):
-            left, lc = self.eval(query.left)
-            right, rc = self.eval(query.right)
+            left, lc = self._eval_rep(query.left)
+            right, rc = self._eval_rep(query.right)
+            pair = self._lift_pair(left, right)
+            if pair is not None:
+                return pair[0].union(pair[1]), lc and rc
+            left, right = self._materialize(left), self._materialize(right)
             return left.union(right), lc and rc
 
         if isinstance(query, Difference):
@@ -147,12 +270,7 @@ class UEvaluator:
 
         if isinstance(query, Conf):
             child, _complete = self.eval(query.child)
-            return (
-                exact_confidence_relation(
-                    child, self.db.w, query.p_name, self.conf_method
-                ),
-                True,
-            )
+            return self.eval_conf(child, query.p_name), True
 
         if isinstance(query, ApproxConf):
             child, _complete = self.eval(query.child)
@@ -183,6 +301,15 @@ class UEvaluator:
         raise TypeError(f"unknown query node {query!r}")
 
     # ------------------------------------------------------------------
+    def eval_conf(self, child: URelation, p_name: str) -> URelation:
+        """[[conf(R)]] for an evaluated child — the strategy override point.
+
+        The engine facade overrides this to route through its pluggable
+        confidence-strategy registry; the plain evaluator runs the exact
+        Theorem 3.4 subprocedure.
+        """
+        return exact_confidence_relation(child, self.db.w, p_name, self.conf_method)
+
     def approx_select(
         self, query: ApproxSelect, child: URelation, child_complete: bool
     ) -> tuple[URelation, bool]:
@@ -205,5 +332,3 @@ class UEvaluator:
             joined = conf_rel if joined is None else joined.natural_join(conf_rel)
         assert joined is not None  # guaranteed: ApproxSelect validates k >= 1
         return joined
-
-

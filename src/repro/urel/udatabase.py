@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from repro.algebra.relations import Relation
+from repro.urel.conditions import ConditionPool
 from repro.urel.urelation import URelation
 from repro.urel.variables import VariableTable
 
@@ -19,17 +20,31 @@ __all__ = ["UDatabase"]
 class UDatabase:
     """A set of named U-relations sharing one variable table."""
 
-    __slots__ = ("relations", "w", "complete", "_version")
+    __slots__ = ("relations", "w", "complete", "condition_pool", "columnar_context", "_version")
 
     def __init__(
         self,
         relations: Mapping[str, URelation] | None = None,
         w: VariableTable | None = None,
         complete: Iterable[str] = (),
+        condition_pool: ConditionPool | None = None,
+        columnar_context=None,
     ):
         self.relations: dict[str, URelation] = dict(relations or {})
         self.w: VariableTable = w if w is not None else VariableTable()
         self.complete: set[str] = set(complete)
+        # The database-wide intern pool for D-value merges.  Condition
+        # algebra never consults W, so pooled entries are pure caches and
+        # copies of the database can safely share the pool.
+        self.condition_pool = condition_pool if condition_pool is not None else ConditionPool()
+        # Lazily-attached ColumnarContext (set by the numpy evaluator;
+        # kept untyped so this module needs no numpy-gated import).  Like
+        # the pool, it is pure coding state — value/variable codes are
+        # append-only and never consult relation contents — so copies of
+        # the database share it: one context per database family means
+        # per-relation encoding memos always hit, even when a scratch
+        # evaluator (e.g. ``explain``) works on a copy.
+        self.columnar_context = columnar_context
         self._version = 0
         missing = self.complete - set(self.relations)
         if missing:
@@ -85,8 +100,19 @@ class UDatabase:
             self.complete.discard(name)
 
     def copy(self) -> "UDatabase":
-        """Independent copy (W table included) for non-destructive evaluation."""
-        return UDatabase(dict(self.relations), self.w.copy(), set(self.complete))
+        """Independent copy (W table included) for non-destructive evaluation.
+
+        The condition pool and columnar context are shared — both hold
+        database-agnostic coding/algebra caches, so copies benefit from
+        (and contribute to) the same state.
+        """
+        return UDatabase(
+            dict(self.relations),
+            self.w.copy(),
+            set(self.complete),
+            self.condition_pool,
+            self.columnar_context,
+        )
 
     def __repr__(self) -> str:
         parts = ", ".join(

@@ -1,0 +1,72 @@
+"""The shared ``auto``/``numpy``/``python`` backend switch.
+
+One spec grammar covers every vectorizable subsystem — the Monte Carlo
+trial engines of :mod:`repro.confidence.batch` and the columnar operator
+engine of :mod:`repro.urel.columnar`: ``"numpy"`` requires NumPy (and
+fails loudly when it is missing), ``"python"`` is the dependency-free
+fallback, ``None``/``"auto"`` picks numpy when importable.  This lives
+under :mod:`repro.util` so both layers can import it without a package
+cycle; :mod:`repro.confidence.batch` re-exports the names for
+compatibility.
+"""
+
+from __future__ import annotations
+
+try:  # gated optional dependency: every caller must run without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+__all__ = [
+    "HAS_NUMPY",
+    "np",
+    "BackendUnavailableError",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
+]
+
+HAS_NUMPY = _np is not None
+
+np = _np
+"""The numpy module, or ``None`` when not importable.
+
+Import this instead of repeating the gated ``try: import numpy`` block:
+one gate, one truth — consumers stay consistent with :data:`HAS_NUMPY`
+by construction.
+"""
+
+
+class BackendUnavailableError(RuntimeError):
+    """A named backend cannot run in this environment."""
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends that can run here (``python`` always can)."""
+    return ("numpy", "python") if HAS_NUMPY else ("python",)
+
+
+def default_backend() -> str:
+    """What ``backend="auto"`` resolves to: ``numpy`` when importable."""
+    return "numpy" if HAS_NUMPY else "python"
+
+
+def resolve_backend(spec: str | None) -> str:
+    """Normalize a backend spec to a concrete, runnable backend name.
+
+    ``None`` and ``"auto"`` pick :func:`default_backend`; asking for
+    ``"numpy"`` without NumPy installed raises
+    :class:`BackendUnavailableError` rather than silently degrading.
+    """
+    if spec is None or spec == "auto":
+        return default_backend()
+    if spec == "python":
+        return "python"
+    if spec == "numpy":
+        if not HAS_NUMPY:
+            raise BackendUnavailableError(
+                "backend 'numpy' requested but numpy is not importable; "
+                "install the 'fast' extra or use backend='python'"
+            )
+        return "numpy"
+    raise ValueError(f"unknown backend {spec!r}; expected auto/numpy/python")

@@ -62,7 +62,7 @@ class TestBackendResolution:
         assert "python" in BACKENDS
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(ValueError, match="unknown batch backend"):
+        with pytest.raises(ValueError, match="unknown backend"):
             resolve_backend("fortran")
 
     @pytest.mark.skipif(HAS_NUMPY, reason="needs a numpy-less environment")
@@ -254,5 +254,5 @@ class TestFacadeBatching:
 
     def test_session_backend_flag_validated(self):
         udb = bipartite_2dnf_database(3, 3, edge_probability=0.5, rng=2)
-        with pytest.raises(ValueError, match="unknown batch backend"):
+        with pytest.raises(ValueError, match="unknown backend"):
             repro.connect(udb, backend="fortran")

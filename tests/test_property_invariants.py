@@ -82,10 +82,20 @@ class TestConfidenceInvariants:
         assert p >= max(dnf.weights)
 
 
+# Coefficient strategy for the ε/singularity tests.  Subnormal
+# coefficients are excluded: with |a| near 5e-324 the products a·x the
+# *predicate itself* evaluates quantize to the subnormal grid (or
+# underflow to ±0.0, flipping ≥-truth), so the Section 5 real-arithmetic
+# radii provably cannot match float evaluation there.  Normal-range
+# coefficients keep the property meaningful over ~300 orders of
+# magnitude.
+_coeff = st.floats(-2, 2, allow_subnormal=False)
+
+
 class TestEpsilonInvariants:
     @given(
         st.floats(0.05, 2.0), st.floats(0.05, 2.0),
-        st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2),
+        _coeff, _coeff, _coeff,
         st.integers(0, 2 ** 32 - 1),
     )
     @settings(max_examples=150)
@@ -103,9 +113,7 @@ class TestEpsilonInvariants:
         for _ in range(10):
             assert pred.evaluate(box.sample(rng)) == truth
 
-    @given(
-        st.floats(0.05, 2.0), st.floats(-2, 2), st.floats(-2, 2)
-    )
+    @given(st.floats(0.05, 2.0), _coeff, _coeff)
     @settings(max_examples=150)
     def test_singularity_radius_separates(self, px, a, b):
         if a == 0:
