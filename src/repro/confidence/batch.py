@@ -30,6 +30,15 @@ sampled ones.
 :func:`shared_block_confidences` additionally evaluates *many*
 disjunctions against one shared block of world samples — the draw-once,
 evaluate-everything pattern behind ``ProbDB.confidence_all``.
+
+Every block entry point also takes an optional
+:class:`~repro.util.parallel.ShardExecutor`: the trial budget is then
+cut into per-worker blocks by the executor's worker-count-independent
+plan, each block draws from a generator seeded by its *block index*
+(:func:`~repro.util.parallel.spawn_shard_rng`), and the block statistics
+merge by trial-count weighting (positives and trials simply sum, so the
+estimate X·M/m is the weighted mean of the block estimates).  Results
+are bit-identical for any worker count, including the serial fallback.
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ from repro.util.backends import (
     np as _np,
     resolve_backend,
 )
+from repro.util.parallel import ShardExecutor, shard_seed
 from repro.util.rng import ensure_rng
 
 __all__ = [
@@ -231,6 +241,50 @@ def _py_naive_block(enc: _EncodedDnf, n: int, rng: random.Random) -> int:
 
 
 # --------------------------------------------------------------------------
+# Shard tasks: per-block trial workers (module level, so they pickle)
+# --------------------------------------------------------------------------
+
+
+def _karp_luby_trial_block(enc: _EncodedDnf, n: int, seed: int, backend: str) -> int:
+    """Positives among ``n`` Definition 4.1 trials from a seeded block."""
+    if backend == "numpy":
+        return _np_karp_luby_block(enc, n, _np.random.default_rng(seed))
+    return _py_karp_luby_block(enc, n, random.Random(seed))
+
+
+def _naive_trial_block(enc: _EncodedDnf, n: int, seed: int, backend: str) -> int:
+    """Satisfying worlds among ``n`` sampled, from a seeded block."""
+    if backend == "numpy":
+        return _np_naive_block(enc, n, _np.random.default_rng(seed))
+    return _py_naive_block(enc, n, random.Random(seed))
+
+
+def _shared_trial_block(
+    encoders: list[_EncodedDnf], n: int, seed: int, backend: str
+) -> list[int]:
+    """Per-disjunction positives against ONE seeded block of ``n`` worlds.
+
+    The block is shared *within* the task (every DNF sees the same
+    worlds, preserving the correlation structure of
+    :func:`shared_block_confidences`); across tasks the blocks are
+    independent and their counts merge by trial-count weighting.
+    """
+    if backend == "numpy":
+        block = _np_sample_block(encoders[0], n, _np.random.default_rng(seed))
+        return [
+            int(_np_satisfaction(enc, block).any(axis=1).sum()) for enc in encoders
+        ]
+    rng = random.Random(seed)
+    counts = [0] * len(encoders)
+    for _ in range(n):
+        codes = _py_sample_codes(encoders[0], rng)
+        for k, enc in enumerate(encoders):
+            if any(_py_satisfied(pairs, codes) for pairs in enc.member_pairs):
+                counts[k] += 1
+    return counts
+
+
+# --------------------------------------------------------------------------
 # The incremental batch sampler (Figure 3's draw-more-trials contract)
 # --------------------------------------------------------------------------
 
@@ -246,6 +300,14 @@ class BatchKarpLubySampler:
     requested trials as one vectorized block instead of a Python loop.
     The Figure 3 algorithm refines by repeatedly calling ``run(|F|)``;
     every such refinement is one block.
+
+    With an ``executor``, :meth:`run` cuts each requested budget into
+    per-worker blocks by the executor's (worker-count-independent) trial
+    plan, seeds block ``i`` from ``(one parent draw, i)``, and sums the
+    block positives — the trial-count-weighted merge of the block
+    estimates.  Estimates are then bit-identical for every worker count
+    (including ``workers=1``), though the stream differs from the
+    executor-less sampler.
     """
 
     def __init__(
@@ -253,14 +315,20 @@ class BatchKarpLubySampler:
         dnf: Dnf,
         rng: random.Random | int | None = None,
         backend: str | None = None,
+        executor: "ShardExecutor | None" = None,
     ):
         self.dnf = dnf
         self.backend = resolve_backend(backend)
         self.rng = ensure_rng(rng)
+        self.executor = executor
         self.trials = 0
         self.positives = 0
         self._enc = _EncodedDnf(dnf)
-        self._nrng = _np_rng(self.rng) if self.backend == "numpy" else None
+        self._nrng = (
+            _np_rng(self.rng)
+            if self.backend == "numpy" and executor is None
+            else None
+        )
         if dnf.is_trivially_true:
             self._exact_value: float | None = 1.0
         elif dnf.is_empty:
@@ -276,10 +344,26 @@ class BatchKarpLubySampler:
         return self._exact_value is not None
 
     def run(self, n_trials: int) -> None:
-        """Accumulate ``n_trials`` further Definition 4.1 trials (one block)."""
+        """Accumulate ``n_trials`` further Definition 4.1 trials.
+
+        Without an executor this is one block on the sampler's own
+        stream; with one, the budget is sharded as documented above.
+        """
         if n_trials <= 0 or self.is_exact:
             return
-        if self.backend == "numpy":
+        if self.executor is not None:
+            base = self.rng.getrandbits(64)
+            blocks = self.executor.plan_trials(n_trials)
+            self.positives += sum(
+                self.executor.map(
+                    _karp_luby_trial_block,
+                    [
+                        (self._enc, count, shard_seed(base, i), self.backend)
+                        for i, count in enumerate(blocks)
+                    ],
+                )
+            )
+        elif self.backend == "numpy":
             self.positives += _np_karp_luby_block(self._enc, n_trials, self._nrng)
         else:
             self.positives += _py_karp_luby_block(self._enc, n_trials, self.rng)
@@ -326,15 +410,18 @@ def batch_approximate_confidence(
     delta: float,
     rng: random.Random | int | None = None,
     backend: str | None = None,
+    executor: "ShardExecutor | None" = None,
 ) -> KarpLubyEstimate:
     """The Proposition 4.2 FPRAS with the whole trial budget as one block.
 
     Identical guarantee to
     :func:`~repro.confidence.karp_luby.approximate_confidence` — the
     m = ⌈3·|F|·ln(2/δ)/ε²⌉ trials come from the same estimator, merely
-    drawn together — at a fraction of the interpreter overhead.
+    drawn together — at a fraction of the interpreter overhead.  With an
+    ``executor`` the budget runs as per-worker blocks whose statistics
+    merge by trial-count weighting (see :class:`BatchKarpLubySampler`).
     """
-    sampler = BatchKarpLubySampler(dnf, rng, backend=backend)
+    sampler = BatchKarpLubySampler(dnf, rng, backend=backend, executor=executor)
     if sampler.is_exact:
         return sampler.snapshot(eps, delta)
     sampler.run(bounds.karp_luby_sample_size(eps, delta, dnf.size))
@@ -346,6 +433,7 @@ def batch_naive_confidence(
     samples: int,
     rng: random.Random | int | None = None,
     backend: str | None = None,
+    executor: "ShardExecutor | None" = None,
 ) -> NaiveEstimate:
     """Naive world-sampling estimate of p with trials drawn as one block."""
     generator = ensure_rng(rng)
@@ -356,7 +444,19 @@ def batch_naive_confidence(
     enc = _EncodedDnf(dnf)
     if samples <= 0:
         return NaiveEstimate(0.0, 0, 0)
-    if resolve_backend(backend) == "numpy":
+    concrete = resolve_backend(backend)
+    if executor is not None:
+        base = generator.getrandbits(64)
+        positives = sum(
+            executor.map(
+                _naive_trial_block,
+                [
+                    (enc, count, shard_seed(base, i), concrete)
+                    for i, count in enumerate(executor.plan_trials(samples))
+                ],
+            )
+        )
+    elif concrete == "numpy":
         positives = _np_naive_block(enc, samples, _np_rng(generator))
     else:
         positives = _py_naive_block(enc, samples, generator)
@@ -368,6 +468,7 @@ def shared_block_confidences(
     samples: int,
     rng: random.Random | int | None = None,
     backend: str | None = None,
+    executor: "ShardExecutor | None" = None,
 ) -> list[NaiveEstimate]:
     """Estimate every disjunction against ONE shared block of worlds.
 
@@ -378,6 +479,11 @@ def shared_block_confidences(
     not once per result tuple.  Estimates for degenerate disjunctions
     are exact, as in the scalar path.  All disjunctions must share one
     W table.
+
+    With an ``executor`` the sample budget is cut into per-worker blocks
+    (each still shared by every DNF *within* the block, so the per-block
+    correlation structure is preserved); per-DNF positives sum across
+    blocks — the trial-count-weighted merge.
     """
     generator = ensure_rng(rng)
     concrete = resolve_backend(backend)
@@ -401,6 +507,20 @@ def shared_block_confidences(
         union_vars |= dnfs[i].variables
     variables = sorted(union_vars, key=repr)
     encoders = [_EncodedDnf(dnfs[i], variables) for i in sampled]
+
+    if executor is not None:
+        base = generator.getrandbits(64)
+        per_block = executor.map(
+            _shared_trial_block,
+            [
+                (encoders, count, shard_seed(base, i), concrete)
+                for i, count in enumerate(executor.plan_trials(samples))
+            ],
+        )
+        counts = [sum(block[k] for block in per_block) for k in range(len(sampled))]
+        for k, i in enumerate(sampled):
+            results[i] = NaiveEstimate(counts[k] / samples, samples, counts[k])
+        return results
 
     if concrete == "numpy":
         nrng = _np_rng(generator)

@@ -93,6 +93,7 @@ class ApproxQueryEvaluator:
         epsilon_method: str = "auto",
         copy_db: bool = True,
         backend: str | None = None,
+        executor=None,
     ):
         if (rounds is None) == (decision_delta is None):
             raise ValueError("specify exactly one of rounds / decision_delta")
@@ -104,6 +105,7 @@ class ApproxQueryEvaluator:
         self.rng = ensure_rng(rng)
         self.epsilon_method = epsilon_method
         self.backend = backend
+        self.executor = executor
         self.decision_log: list[DecisionRecord] = []
 
     # ------------------------------------------------------------------
@@ -435,6 +437,7 @@ class ApproxQueryEvaluator:
                 constants=cand_env,
                 epsilon_method=self.epsilon_method,
                 backend=self.backend,
+                executor=self.executor,
             )
             if self.rounds is not None:
                 decision = approximator.run_rounds(self.rounds)

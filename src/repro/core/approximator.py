@@ -113,6 +113,7 @@ class PredicateApproximator:
         constants: Mapping[str, object] | None = None,
         epsilon_method: str = "auto",
         backend: str | None = None,
+        executor=None,
     ):
         if not 0 < eps0 < 1:
             raise ValueError(f"eps0 must be in (0, 1), got {eps0}")
@@ -129,7 +130,9 @@ class PredicateApproximator:
                 f"predicate mentions {sorted(missing)} but no values/constants given"
             )
         self.samplers: dict[str, ApproximableValue] = {
-            name: as_approximable(value, spawn_rng(generator), backend=backend)
+            name: as_approximable(
+                value, spawn_rng(generator), backend=backend, executor=executor
+            )
             for name, value in sorted(values.items())
         }
         self.aliases: dict[str, str] = {}
@@ -307,9 +310,17 @@ def approximate_predicate(
     constants: Mapping[str, object] | None = None,
     epsilon_method: str = "auto",
     backend: str | None = None,
+    executor=None,
 ) -> PredicateDecision:
     """One-shot Figure 3 run (see :class:`PredicateApproximator`)."""
     approximator = PredicateApproximator(
-        predicate, values, eps0, rng, constants, epsilon_method, backend=backend
+        predicate,
+        values,
+        eps0,
+        rng,
+        constants,
+        epsilon_method,
+        backend=backend,
+        executor=executor,
     )
     return approximator.decide(delta)

@@ -82,6 +82,7 @@ def evaluate_with_guarantee(
     conf_method: str = "decomposition",
     epsilon_method: str = "auto",
     backend: str | None = None,
+    executor=None,
 ) -> DriverReport:
     """Evaluate a positive UA[σ̂] query with overall tuple error ≤ δ.
 
@@ -94,7 +95,10 @@ def evaluate_with_guarantee(
     decisions.  Each evaluation at round budget l runs fixed-budget
     Figure 3 decisions, so every stochastic value's whole (ε, δ)-derived
     allocation of l·|Fᵢ| Karp–Luby trials is drawn as one vectorized
-    block rather than trial by trial.
+    block rather than trial by trial.  An ``executor``
+    (:class:`~repro.util.parallel.ShardExecutor`) further distributes
+    each value's allocation over worker processes as deterministic
+    per-block budgets — results stay bit-identical at any worker count.
     """
     node = query.q if isinstance(query, Q) else query
     if not 0 < delta < 1:
@@ -116,6 +120,7 @@ def evaluate_with_guarantee(
             rng=spawn_rng(generator),
             epsilon_method=epsilon_method,
             backend=backend,
+            executor=executor,
         )
         annotated = evaluator.evaluate(node)
         evaluations += 1

@@ -104,7 +104,11 @@ class KarpLubyValue(ApproximableValue):
     sampler; ``"auto"``/``"numpy"``/``"python"`` use the vectorized
     :class:`~repro.confidence.batch.BatchKarpLubySampler`, which draws
     each refinement round's |F| trials (and multi-round allocations, see
-    :meth:`refine_many`) as one block.
+    :meth:`refine_many`) as one block.  An ``executor``
+    (:class:`~repro.util.parallel.ShardExecutor`) additionally
+    distributes each allocation over worker processes as per-block
+    budgets merged by trial-count weighting; it implies the batch
+    sampler even when ``backend`` is left ``None``.
     """
 
     def __init__(
@@ -112,14 +116,18 @@ class KarpLubyValue(ApproximableValue):
         dnf: Dnf,
         rng: random.Random | int | None = None,
         backend: str | None = None,
+        executor=None,
     ):
         self._backend = backend
-        if backend is None:
+        self._executor = executor
+        if backend is None and executor is None:
             self._sampler = KarpLubySampler(dnf, rng)
         else:
             from repro.confidence.batch import BatchKarpLubySampler
 
-            self._sampler = BatchKarpLubySampler(dnf, rng, backend=backend)
+            self._sampler = BatchKarpLubySampler(
+                dnf, rng, backend=backend, executor=executor
+            )
 
     @property
     def dnf(self) -> Dnf:
@@ -156,7 +164,9 @@ class KarpLubyValue(ApproximableValue):
         return self._sampler.error_bound(eps)
 
     def clone(self, rng: random.Random | int | None = None) -> "KarpLubyValue":
-        return KarpLubyValue(self._sampler.dnf, rng, backend=self._backend)
+        return KarpLubyValue(
+            self._sampler.dnf, rng, backend=self._backend, executor=self._executor
+        )
 
 
 class HoeffdingMeanValue(ApproximableValue):
@@ -263,17 +273,18 @@ def as_approximable(
     value: "ApproximableValue | Dnf | float | int",
     rng: random.Random | int | None = None,
     backend: str | None = None,
+    executor=None,
 ) -> ApproximableValue:
     """Coerce user input into an :class:`ApproximableValue`.
 
     Disjunctions become Karp–Luby values (the paper's case) on the given
-    trial ``backend``; numbers become exact constants; existing values
-    pass through.
+    trial ``backend`` and shard ``executor``; numbers become exact
+    constants; existing values pass through.
     """
     if isinstance(value, ApproximableValue):
         return value
     if isinstance(value, Dnf):
-        return KarpLubyValue(value, rng, backend=backend)
+        return KarpLubyValue(value, rng, backend=backend, executor=executor)
     if isinstance(value, (int, float)):
         return ExactValue(value)
     raise TypeError(f"cannot treat {value!r} as an approximable value")

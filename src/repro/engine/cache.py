@@ -24,6 +24,8 @@ variables and must not share an entry.
 from __future__ import annotations
 
 import hashlib
+import threading
+from collections import OrderedDict
 
 from repro.algebra.operators import Query, RepairKey, walk
 from repro.algebra.printer import unparse_query
@@ -62,12 +64,25 @@ class CacheStats:
 
 
 class MemoCache:
-    """A bounded mapping with hit/miss accounting (FIFO eviction)."""
+    """A bounded mapping with hit/miss accounting (LRU eviction).
+
+    A hit refreshes the entry's recency, so a hot confidence entry (the
+    posterior a dashboard asks for every few seconds) survives arbitrary
+    churn of one-off queries; eviction removes the *least recently used*
+    entry, not merely the oldest inserted.
+
+    All operations hold one internal lock: sessions may be shared across
+    threads (a threaded server over one :class:`~repro.engine.probdb.ProbDB`),
+    and an unsynchronized ``move_to_end``/``popitem`` pair can corrupt
+    the underlying ordered dict mid-eviction.  The lock covers the stats
+    counters too, so hit/miss accounting stays consistent.
+    """
 
     def __init__(self, maxsize: int | None = 1024):
         self.maxsize = maxsize
-        self._data: dict = {}
+        self._data: OrderedDict = OrderedDict()
         self.stats = CacheStats()
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
@@ -75,25 +90,32 @@ class MemoCache:
 
     def get(self, key):
         """The cached value, or ``None`` (misses are counted)."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key, value) -> None:
         if self.maxsize is not None and self.maxsize <= 0:
             return
-        if self.maxsize is not None and len(self._data) >= self.maxsize and key not in self._data:
-            self._data.pop(next(iter(self._data)))
-        self._data[key] = value
-        self.stats.entries = len(self._data)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            elif self.maxsize is not None and len(self._data) >= self.maxsize:
+                self._data.popitem(last=False)
+            self._data[key] = value
+            self.stats.entries = len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.stats.entries = 0
+        with self._lock:
+            self._data.clear()
+            self.stats.entries = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)

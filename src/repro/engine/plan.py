@@ -40,6 +40,7 @@ from repro.confidence.dnf import Dnf
 if TYPE_CHECKING:
     from repro.engine.strategies import ConfidenceStrategy
     from repro.urel.evaluate import UEvaluator
+    from repro.util.parallel import ShardExecutor
 
 __all__ = ["PlanNode", "ExplainReport", "explain_plan"]
 
@@ -121,16 +122,21 @@ def _method_counts(
 
 
 def explain_plan(
-    node: Query, evaluator: "UEvaluator", strategy: "ConfidenceStrategy"
+    node: Query,
+    evaluator: "UEvaluator",
+    strategy: "ConfidenceStrategy",
+    executor: "ShardExecutor | None" = None,
 ) -> ExplainReport:
     """Build the annotated plan for ``node``.
 
     ``evaluator`` must wrap a throwaway copy of the session database —
     explain executes repair-keys (extending that copy's W) to see the
     DNFs that confidence operators will face.  The evaluator's operator
-    backend determines the ``path`` annotation of the relational nodes.
+    backend determines the ``path`` annotation of the relational nodes;
+    a session shard ``executor`` annotates the confidence operators it
+    fans out with ``·sharded[n]`` (n = configured workers).
     """
-    return ExplainReport(_build(node, evaluator, strategy), strategy.name)
+    return ExplainReport(_build(node, evaluator, strategy, executor), strategy.name)
 
 
 def _operator_path(evaluator) -> str:
@@ -144,8 +150,20 @@ def _operator_path(evaluator) -> str:
     return "columnar[numpy]" if backend == "numpy" else "scalar[indexed]"
 
 
-def _build(node: Query, evaluator, strategy) -> PlanNode:
-    children = tuple(_build(c, evaluator, strategy) for c in _children_of(node))
+def _sharded_path(executor) -> str | None:
+    """The ``sharded[n]`` annotation for confidence operators.
+
+    Shown whenever the session carries an executor: the *plan* (and the
+    results) are those of the sharded code path even at ``workers=1``,
+    where the shards merely run serially.
+    """
+    return None if executor is None else f"sharded[{executor.workers}]"
+
+
+def _build(node: Query, evaluator, strategy, executor=None) -> PlanNode:
+    children = tuple(
+        _build(c, evaluator, strategy, executor) for c in _children_of(node)
+    )
     path = _operator_path(evaluator)
 
     if isinstance(node, BaseRel):
@@ -186,7 +204,12 @@ def _build(node: Query, evaluator, strategy) -> PlanNode:
     if isinstance(node, Conf):
         counts = _method_counts(evaluator, strategy, node.child)
         return PlanNode(
-            "conf", node.p_name, strategy=strategy.name, methods=counts, children=children
+            "conf",
+            node.p_name,
+            strategy=strategy.name,
+            methods=counts,
+            children=children,
+            path=_sharded_path(executor),
         )
     if isinstance(node, Cert):
         counts = _method_counts(evaluator, strategy, node.child)
@@ -202,6 +225,7 @@ def _build(node: Query, evaluator, strategy) -> PlanNode:
             strategy="karp-luby",
             methods={"karp-luby": n_tuples},
             children=children,
+            path=_sharded_path(executor),
         )
     if isinstance(node, ApproxSelect):
         counts = _method_counts(evaluator, strategy, node.child, groups=node.groups)
@@ -211,6 +235,7 @@ def _build(node: Query, evaluator, strategy) -> PlanNode:
             strategy=strategy.name,
             methods=counts,
             children=children,
+            path=_sharded_path(executor),
         )
     raise TypeError(f"cannot explain query node {node!r}")
 

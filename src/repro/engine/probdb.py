@@ -39,11 +39,14 @@ from repro.engine.result import EngineResult
 from repro.engine.strategies import (
     ConfidenceReport,
     ConfidenceStrategy,
+    compute_batch_with_executor,
+    compute_with_executor,
     resolve_strategy,
 )
 from repro.urel.evaluate import UEvaluator
 from repro.urel.udatabase import UDatabase
 from repro.urel.urelation import URelation
+from repro.util.parallel import ShardExecutor, default_workers
 from repro.util.rng import ensure_rng, spawn_rng
 
 __all__ = ["ProbDB", "connect"]
@@ -57,6 +60,7 @@ def connect(
     rng: random.Random | int | None = None,
     copy: bool = False,
     backend: str | None = None,
+    workers: int | None = None,
 ) -> "ProbDB":
     """Open a :class:`ProbDB` session on ``source``.
 
@@ -72,6 +76,15 @@ def connect(
     ``"python"`` is the dependency-free scalar path; default
     auto-detection — see :mod:`repro.util.backends`).  With ``copy``
     the session works on a private copy of the database.
+
+    ``workers`` opts the session into sharded execution
+    (:mod:`repro.util.parallel`): confidence batches, Monte-Carlo trial
+    budgets, and driver round allocations fan out over a process pool.
+    Results are *bit-identical for every worker count* (``workers=1``
+    runs the same shard plan serially); omitting ``workers`` keeps the
+    unsharded single-stream code path.  The ``REPRO_WORKERS``
+    environment variable supplies a default when the argument is left
+    ``None``.
     """
     return ProbDB(
         source,
@@ -81,6 +94,7 @@ def connect(
         rng=rng,
         copy=copy,
         backend=backend,
+        workers=workers,
     )
 
 
@@ -112,6 +126,7 @@ class ProbDB:
         copy: bool = False,
         cache_size: int | None = 1024,
         backend: str | None = None,
+        workers: int | None = None,
     ):
         self.db = self._coerce(source, copy)
         # The facade's single ensure_rng call site: every stochastic
@@ -124,6 +139,13 @@ class ProbDB:
         self.strategy = resolve_strategy(
             strategy, eps=eps, delta=delta, backend=self.backend
         )
+        if workers is None:
+            workers = default_workers()
+        # The session's one fan-out primitive; None keeps the legacy
+        # unsharded code path (results byte-compatible with older
+        # sessions).  The pool itself is lazy — sessions that never
+        # shard a workload never fork.
+        self.executor = ShardExecutor(workers) if workers is not None else None
         self._cache = MemoCache(cache_size)
         # Parsed query texts are cached so a repeated string is the *same*
         # plan (same repair-key op_ids → same random variables, and memo
@@ -248,13 +270,15 @@ class ProbDB:
         Returns a :class:`repro.core.driver.DriverReport`; the driver
         works on a private copy of the database.  ``rng`` defaults to a
         stream derived from the session seed; the session's trial
-        ``backend`` is used unless overridden via ``backend=...``.
+        ``backend`` and shard ``executor`` are used unless overridden
+        via ``backend=...`` / ``executor=...``.
         """
         from repro.core.driver import evaluate_with_guarantee as _driver
 
         node, _source = self._resolve(query)
         generator = spawn_rng(self._rng) if rng is None else ensure_rng(rng)
         kwargs.setdefault("backend", self.backend)
+        kwargs.setdefault("executor", self.executor)
         return _driver(node, self.db, delta=delta, eps0=eps0, rng=generator, **kwargs)
 
     def explain(self, query: "Query | Q | str") -> ExplainReport:
@@ -275,7 +299,7 @@ class ProbDB:
             copy_db=True,
             backend=self.backend,
         )
-        return explain_plan(node, scratch, self.strategy)
+        return explain_plan(node, scratch, self.strategy, executor=self.executor)
 
     # ------------------------------------------------------------ confidence internals
     def tuple_confidence(self, relation: URelation, row: Sequence) -> ConfidenceReport:
@@ -284,17 +308,24 @@ class ProbDB:
         return self._compute_confidence(dnf, self.strategy)
 
     def _conf_cache_key(self, dnf: Dnf, strategy: ConfidenceStrategy) -> tuple:
-        return ("conf", frozenset(dnf.members), self.db.w.version, strategy.cache_token)
+        # A sharded session merges sampled estimates by the executor's
+        # plan — a different merge schedule than the unsharded stream —
+        # so its entries carry the plan token and never cross-hit with
+        # entries computed under another schedule.
+        token = strategy.cache_token
+        if self.executor is not None:
+            token = token + (self.executor.plan_token,)
+        return ("conf", frozenset(dnf.members), self.db.w.version, token)
 
     def _compute_confidence(
         self, dnf: Dnf, strategy: ConfidenceStrategy
     ) -> ConfidenceReport:
         if not self._cache.enabled:
-            return strategy.compute(dnf, self._rng)
+            return compute_with_executor(strategy, dnf, self._rng, self.executor)
         key = self._conf_cache_key(dnf, strategy)
         report = self._cache.get(key)
         if report is None:
-            report = strategy.compute(dnf, self._rng)
+            report = compute_with_executor(strategy, dnf, self._rng, self.executor)
             self._cache.put(key, report)
         return report
 
@@ -309,7 +340,9 @@ class ProbDB:
         independent sampler runs.
         """
         if not self._cache.enabled:
-            return list(strategy.compute_batch(dnfs, self._rng))
+            return list(
+                compute_batch_with_executor(strategy, dnfs, self._rng, self.executor)
+            )
         reports: list[ConfidenceReport | None] = []
         # Distinct tuples often share one condition set (same cache key);
         # compute each distinct DNF once per batch, as the sequential
@@ -322,8 +355,8 @@ class ProbDB:
             if cached is None:
                 misses.setdefault(key, i)
         if misses:
-            fresh = strategy.compute_batch(
-                [dnfs[i] for i in misses.values()], self._rng
+            fresh = compute_batch_with_executor(
+                strategy, [dnfs[i] for i in misses.values()], self._rng, self.executor
             )
             by_key = dict(zip(misses, fresh))
             for key, report in by_key.items():
@@ -416,6 +449,22 @@ class ProbDB:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    def close(self) -> None:
+        """Release the session's worker pool (if any).
+
+        The session stays usable — sharded workloads simply run their
+        (identical) serial path afterwards.  Garbage collection also
+        reclaims the pool, so calling this is a courtesy, not a duty.
+        """
+        if self.executor is not None:
+            self.executor.close()
+
+    def __enter__(self) -> "ProbDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def worlds(self, max_worlds: int = 1_000_000):
         """Unfold the session database into its possible worlds."""

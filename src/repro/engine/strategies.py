@@ -23,6 +23,16 @@ and override :meth:`ConfidenceStrategy.compute_batch` to draw trials in
 vectorized blocks shared across a whole batch of tuples.  Third parties
 register their own strategies with :func:`register_strategy`; strategy
 classes are instantiated as ``cls(eps=..., delta=..., backend=...)``.
+
+:meth:`ConfidenceStrategy.compute_batch` also accepts a
+:class:`~repro.util.parallel.ShardExecutor`: the per-tuple DNF list is
+then cut into contiguous shards by the executor's worker-count-
+independent plan, each shard computed under a generator derived from its
+*shard index*, and results concatenated in shard order — bit-identical
+for every worker count.  Strategies registered against the original
+two-argument contract keep working: the engine only passes the keyword
+to ``compute_batch`` implementations that declare it (see
+:func:`compute_batch_with_executor`).
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.confidence.exact import (
 )
 from repro.confidence.naive_mc import naive_sample_size_additive
 from repro.core.readonce import is_read_once
+from repro.util.parallel import ShardExecutor, shard_seed
 from repro.worlds.database import Prob
 
 __all__ = [
@@ -61,6 +72,8 @@ __all__ = [
     "resolve_strategy",
     "strategy_names",
     "dnf_is_read_once",
+    "compute_batch_with_executor",
+    "compute_with_executor",
     "UnknownStrategyError",
 ]
 
@@ -116,18 +129,112 @@ class ConfidenceStrategy:
         raise NotImplementedError
 
     def compute_batch(
-        self, dnfs: Sequence[Dnf], rng: random.Random
+        self,
+        dnfs: Sequence[Dnf],
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
     ) -> list[ConfidenceReport]:
         """Confidences for a whole batch of disjunctions (one per tuple).
 
         The default runs :meth:`compute` per DNF; sampling strategies
         override this to amortize trial drawing across the batch (shared
-        world blocks, vectorized per-tuple trial budgets).
+        world blocks, vectorized per-tuple trial budgets).  With an
+        ``executor`` the DNF list is sharded across workers (see
+        :meth:`_sharded_compute`).
         """
+        sharded = self._sharded_compute(dnfs, rng, executor)
+        if sharded is not None:
+            return sharded
         return [self.compute(dnf, rng) for dnf in dnfs]
+
+    def _sharded_compute(
+        self,
+        dnfs: Sequence[Dnf],
+        rng: random.Random,
+        executor: "ShardExecutor | None",
+    ) -> list[ConfidenceReport] | None:
+        """Shard the DNF list across the executor, or ``None`` to stay serial.
+
+        The shard plan and each shard's generator depend on the workload
+        and the shard *index* only (never on the worker count), so the
+        concatenated result is bit-identical at any parallelism.  The
+        strategy itself travels to the workers, which is why strategy
+        instances must stay picklable and must not hold executors.
+        """
+        if executor is None:
+            return None
+        shards = executor.plan_items(len(dnfs))
+        if len(shards) <= 1:
+            return None
+        base = rng.getrandbits(64)
+        results = executor.map(
+            _strategy_shard_task,
+            [
+                (self, list(dnfs[start:stop]), shard_seed(base, i))
+                for i, (start, stop) in enumerate(shards)
+            ],
+        )
+        return [report for shard in results for report in shard]
 
     def __repr__(self) -> str:
         return f"<strategy {self.name!r}>"
+
+
+def _strategy_shard_task(
+    strategy: ConfidenceStrategy, dnfs: list[Dnf], seed: int
+) -> list[ConfidenceReport]:
+    """One shard of a sharded ``compute_batch`` (module level: pickles)."""
+    rng = random.Random(seed)
+    return [strategy.compute(dnf, rng) for dnf in dnfs]
+
+
+_EXECUTOR_AWARE: dict[tuple[type, str], bool] = {}
+
+
+def _accepts_executor(strategy: ConfidenceStrategy, method: str) -> bool:
+    cls = type(strategy)
+    aware = _EXECUTOR_AWARE.get((cls, method))
+    if aware is None:
+        parameters = inspect.signature(getattr(cls, method)).parameters
+        aware = "executor" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        _EXECUTOR_AWARE[(cls, method)] = aware
+    return aware
+
+
+def compute_batch_with_executor(
+    strategy: ConfidenceStrategy,
+    dnfs: Sequence[Dnf],
+    rng: random.Random,
+    executor: "ShardExecutor | None",
+) -> list[ConfidenceReport]:
+    """Call ``strategy.compute_batch``, passing ``executor`` only if accepted.
+
+    Third-party strategies written against the original
+    ``compute_batch(dnfs, rng)`` contract predate sharding; they run
+    serially rather than erroring on an unexpected keyword.
+    """
+    if executor is not None and _accepts_executor(strategy, "compute_batch"):
+        return strategy.compute_batch(dnfs, rng, executor=executor)
+    return strategy.compute_batch(dnfs, rng)
+
+
+def compute_with_executor(
+    strategy: ConfidenceStrategy,
+    dnf: Dnf,
+    rng: random.Random,
+    executor: "ShardExecutor | None",
+) -> ConfidenceReport:
+    """Single-tuple counterpart of :func:`compute_batch_with_executor`.
+
+    Sampling strategies shard the one tuple's whole trial budget
+    (there is no list to cut); strategies with the original
+    ``compute(dnf, rng)`` signature run serially.
+    """
+    if executor is not None and _accepts_executor(strategy, "compute"):
+        return strategy.compute(dnf, rng, executor=executor)
+    return strategy.compute(dnf, rng)
 
 
 def dnf_is_read_once(dnf: Dnf) -> bool:
@@ -274,9 +381,14 @@ class KarpLuby(ConfidenceStrategy):
     def cache_token(self) -> tuple:
         return (self.name, self.eps, self.delta, self.backend)
 
-    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+    def compute(
+        self,
+        dnf: Dnf,
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
+    ) -> ConfidenceReport:
         estimate = batch_approximate_confidence(
-            dnf, self.eps, self.delta, rng, backend=self.backend
+            dnf, self.eps, self.delta, rng, backend=self.backend, executor=executor
         )
         return ConfidenceReport(
             estimate.estimate,
@@ -287,6 +399,22 @@ class KarpLuby(ConfidenceStrategy):
             eps=self.eps,
             delta=self.delta,
         )
+
+    def compute_batch(
+        self,
+        dnfs: Sequence[Dnf],
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
+    ) -> list[ConfidenceReport]:
+        """Sharded per-tuple budgets: many tuples shard the DNF list; a
+        batch too small to cut shards instead splits each tuple's whole
+        Prop 4.2 trial budget into per-worker blocks."""
+        sharded = self._sharded_compute(dnfs, rng, executor)
+        if sharded is not None:
+            return sharded
+        if executor is not None:
+            return [self.compute(dnf, rng, executor=executor) for dnf in dnfs]
+        return [self.compute(dnf, rng) for dnf in dnfs]
 
 
 @register_strategy
@@ -328,17 +456,30 @@ class NaiveMonteCarlo(ConfidenceStrategy):
             delta=self.delta,
         )
 
-    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+    def compute(
+        self,
+        dnf: Dnf,
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
+    ) -> ConfidenceReport:
         samples = naive_sample_size_additive(self.eps, self.delta)
-        estimate = batch_naive_confidence(dnf, samples, rng, backend=self.backend)
+        estimate = batch_naive_confidence(
+            dnf, samples, rng, backend=self.backend, executor=executor
+        )
         return self._report(dnf, estimate)
 
     def compute_batch(
-        self, dnfs: Sequence[Dnf], rng: random.Random
+        self,
+        dnfs: Sequence[Dnf],
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
     ) -> list[ConfidenceReport]:
+        """One shared world block per batch; with an executor, the block
+        budget is split into per-worker sub-blocks (each still shared by
+        every tuple) whose counts merge by trial-count weighting."""
         samples = naive_sample_size_additive(self.eps, self.delta)
         estimates = shared_block_confidences(
-            dnfs, samples, rng, backend=self.backend
+            dnfs, samples, rng, backend=self.backend, executor=executor
         )
         return [self._report(dnf, est) for dnf, est in zip(dnfs, estimates)]
 
@@ -410,28 +551,48 @@ class AutoStrategy(ConfidenceStrategy):
             delta=report.delta,
         )
 
-    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+    def compute(
+        self,
+        dnf: Dnf,
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
+    ) -> ConfidenceReport:
         method = self.choose(dnf)
-        chosen = self._exact if method == self._exact.name else self._sampler
-        return self._rebrand(chosen.compute(dnf, rng), method)
+        if method == self._exact.name:
+            return self._rebrand(self._exact.compute(dnf, rng), method)
+        return self._rebrand(
+            self._sampler.compute(dnf, rng, executor=executor), method
+        )
 
     def compute_batch(
-        self, dnfs: Sequence[Dnf], rng: random.Random
+        self,
+        dnfs: Sequence[Dnf],
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
     ) -> list[ConfidenceReport]:
         """Route the batch per tuple, then run each backend's batched path.
 
-        Exact-routed tuples run individually (decomposition is already
-        cheap on them); all sampler-routed tuples go through the
-        sampler's :meth:`compute_batch` so trial drawing is amortized.
+        All exact-routed tuples go through the exact strategy's (list-
+        sharding) batch, all sampler-routed tuples through the sampler's
+        :meth:`compute_batch`, so trial drawing is amortized and both
+        sub-batches fan out over the executor.  Routing itself is
+        deterministic (:meth:`choose` never samples), so the split — and
+        with it every shard plan downstream — is worker-count invariant.
         """
         methods = [self.choose(dnf) for dnf in dnfs]
         reports: list[ConfidenceReport | None] = [None] * len(dnfs)
+        exact = [i for i, m in enumerate(methods) if m == self._exact.name]
         sampled = [i for i, m in enumerate(methods) if m == self._sampler.name]
-        for i, (dnf, method) in enumerate(zip(dnfs, methods)):
-            if method == self._exact.name:
-                reports[i] = self._rebrand(self._exact.compute(dnf, rng), method)
+        if exact:
+            batch = self._exact.compute_batch(
+                [dnfs[i] for i in exact], rng, executor=executor
+            )
+            for i, report in zip(exact, batch):
+                reports[i] = self._rebrand(report, self._exact.name)
         if sampled:
-            batch = self._sampler.compute_batch([dnfs[i] for i in sampled], rng)
+            batch = self._sampler.compute_batch(
+                [dnfs[i] for i in sampled], rng, executor=executor
+            )
             for i, report in zip(sampled, batch):
                 reports[i] = self._rebrand(report, self._sampler.name)
         return reports

@@ -98,6 +98,19 @@ class ValueCodec:
         """Whether any cross-type ==-conflation has occurred so far."""
         return self.conflation_events > 0
 
+    def clone(self) -> "ValueCodec":
+        """A private codec agreeing with this one on every code so far.
+
+        The clone and the original diverge independently afterwards —
+        the isolation :meth:`ColumnarContext.snapshot` needs.
+        """
+        clone = ValueCodec()
+        clone.values = list(self.values)
+        clone.index = dict(self.index)
+        clone.has_nonreflexive = self.has_nonreflexive
+        clone.conflation_events = self.conflation_events
+        return clone
+
     def __len__(self) -> int:
         return len(self.values)
 
@@ -160,6 +173,23 @@ class ColumnarContext:
         self.max_vars = max_vars
         self._var_codecs: dict[Var, ValueCodec] = {}
 
+    def snapshot(self, w: VariableTable, pool: ConditionPool) -> "ColumnarContext":
+        """A private context for a database copy, warm but isolated.
+
+        ``w``/``pool`` are the *copy's* table and pool (a context must
+        code against the W it will actually see grow); the value and
+        per-variable codecs are cloned, so the copy starts with every
+        code this context ever assigned and then diverges independently.
+        Relations memoize encodings per context identity, so nothing
+        encoded against the original leaks into the snapshot.
+        """
+        clone = ColumnarContext(w, pool, self.min_rows, self.max_vars)
+        clone.values = self.values.clone()
+        clone._var_codecs = {
+            var: codec.clone() for var, codec in self._var_codecs.items()
+        }
+        return clone
+
     def worth_encoding(self, urel: URelation) -> bool:
         """Whether ``urel`` is inside the columnar engine's envelope.
 
@@ -188,11 +218,16 @@ class ColumnarContext:
 
         Memoized on the relation itself (next to its other lazy caches),
         so the encoding lives exactly as long as the relation does —
-        nothing is pinned by the context.
+        nothing is pinned by the context.  The memo holds up to two
+        (context, encoding) pairs: URelation objects are shared between
+        a database and its private-context copies, and a scratch
+        evaluator (``explain``) encoding through a snapshot context must
+        not evict the long-lived session's entry — nor the other way
+        around.
         """
-        hit = urel.__dict__.get("_columnar")
-        if hit is not None and hit[0] is self:
-            return hit[1]
+        for ctx, encoded in urel.__dict__.get("_columnar", ()):
+            if ctx is self:
+                return encoded
         events_before = self.values.conflation_events
         cond_vars = tuple(sorted(urel.variables(), key=repr))
         n, k, v = len(urel.rows), len(urel.columns), len(cond_vars)
@@ -226,7 +261,13 @@ class ColumnarContext:
             ),
         )
         result._decoded = urel  # decoding must return the original object
-        object.__setattr__(urel, "_columnar", (self, result))
+        # Keep this context's entry plus the most recent *other* one
+        # (bounded at two: at most one dead scratch context can linger
+        # per relation, and a session/scratch alternation never thrashes).
+        others = tuple(
+            entry for entry in urel.__dict__.get("_columnar", ()) if entry[0] is not self
+        )[-1:]
+        object.__setattr__(urel, "_columnar", others + ((self, result),))
         return result
 
 

@@ -204,6 +204,19 @@ class ConditionPool:
     def __len__(self) -> int:
         return len(self._interned)
 
+    def snapshot(self) -> "ConditionPool":
+        """A private pool pre-warmed with this pool's entries.
+
+        ``UDatabase.copy`` hands each copy its own pool so two "private"
+        sessions never mutate each other's interning state; the snapshot
+        keeps the copy warm (conditions are immutable, so *entries* are
+        safely shared — only the dicts must be private).
+        """
+        clone = ConditionPool(self._max_entries)
+        clone._interned = dict(self._interned)
+        clone._unions = dict(self._unions)
+        return clone
+
     def intern(self, condition: Condition) -> Condition:
         """The canonical object for ``condition`` (first one seen wins)."""
         canonical = self._interned.get(condition)

@@ -7,6 +7,7 @@ variables.  Completeness flags mirror the paper's function ``c``.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
 
 from repro.algebra.relations import Relation
@@ -20,7 +21,15 @@ __all__ = ["UDatabase"]
 class UDatabase:
     """A set of named U-relations sharing one variable table."""
 
-    __slots__ = ("relations", "w", "complete", "condition_pool", "columnar_context", "_version")
+    __slots__ = (
+        "relations",
+        "w",
+        "complete",
+        "condition_pool",
+        "columnar_context",
+        "_version",
+        "_lock",
+    )
 
     def __init__(
         self,
@@ -38,14 +47,13 @@ class UDatabase:
         # copies of the database can safely share the pool.
         self.condition_pool = condition_pool if condition_pool is not None else ConditionPool()
         # Lazily-attached ColumnarContext (set by the numpy evaluator;
-        # kept untyped so this module needs no numpy-gated import).  Like
-        # the pool, it is pure coding state — value/variable codes are
-        # append-only and never consult relation contents — so copies of
-        # the database share it: one context per database family means
-        # per-relation encoding memos always hit, even when a scratch
-        # evaluator (e.g. ``explain``) works on a copy.
+        # kept untyped so this module needs no numpy-gated import).
+        # Private per database: a context codes against *this* database's
+        # W table, and ``copy()`` hands copies their own snapshot rather
+        # than sharing mutable coding state across sessions.
         self.columnar_context = columnar_context
         self._version = 0
+        self._lock = threading.Lock()
         missing = self.complete - set(self.relations)
         if missing:
             raise ValueError(f"complete-marked relations do not exist: {sorted(missing)}")
@@ -89,30 +97,69 @@ class UDatabase:
         return self._version
 
     def set_relation(self, name: str, urel: URelation, complete: bool = False) -> None:
-        """Session-style assignment ``name := urel`` (as in Example 2.2)."""
-        self.relations[name] = urel
-        self._version += 1
-        if complete:
-            if not urel.is_certain:
-                raise ValueError("cannot mark a conditioned relation complete")
-            self.complete.add(name)
-        else:
-            self.complete.discard(name)
+        """Session-style assignment ``name := urel`` (as in Example 2.2).
+
+        Atomic under the database lock: the relation insert, the version
+        bump, and the completeness flag move together, so a concurrent
+        reader (or a racing assignment on a threaded server) never sees
+        a version that disagrees with the contents.
+        """
+        if complete and not urel.is_certain:
+            raise ValueError("cannot mark a conditioned relation complete")
+        with self._lock:
+            self.relations[name] = urel
+            self._version += 1
+            if complete:
+                self.complete.add(name)
+            else:
+                self.complete.discard(name)
 
     def copy(self) -> "UDatabase":
-        """Independent copy (W table included) for non-destructive evaluation.
+        """Independent copy for non-destructive evaluation — *fully* private.
 
-        The condition pool and columnar context are shared — both hold
-        database-agnostic coding/algebra caches, so copies benefit from
-        (and contribute to) the same state.
+        Everything mutable is the copy's own: the W table, the condition
+        pool, and (when attached) the columnar coding context, the
+        latter two as warm snapshots.  ``connect(source, copy=True)``
+        promises "a private copy of the database"; sharing the pool or
+        context would let two "private" sessions mutate each other's
+        interning/codec state — unsafe the moment sessions run on
+        different threads or processes.
         """
-        return UDatabase(
-            dict(self.relations),
-            self.w.copy(),
-            set(self.complete),
-            self.condition_pool,
-            self.columnar_context,
-        )
+        with self._lock:
+            w = self.w.copy()
+            pool = self.condition_pool.snapshot()
+            context = (
+                None
+                if self.columnar_context is None
+                else self.columnar_context.snapshot(w, pool)
+            )
+            return UDatabase(
+                dict(self.relations),
+                w,
+                set(self.complete),
+                pool,
+                context,
+            )
+
+    # ------------------------------------------------------------- plumbing
+    def __getstate__(self):
+        # Snapshot under the lock so pickling (on a pool feeder thread)
+        # never iterates a dict a concurrent set_relation is resizing.
+        with self._lock:
+            return (
+                dict(self.relations),
+                self.w,
+                set(self.complete),
+                self.condition_pool,
+                self._version,
+            )
+
+    def __setstate__(self, state) -> None:
+        # The lock is recreated and the columnar context dropped: numpy
+        # coding state is process-local scratch, rebuilt on demand.
+        self.relations, self.w, self.complete, self.condition_pool, self._version = state
+        self.columnar_context = None
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:
         parts = ", ".join(

@@ -17,6 +17,7 @@ is that relation with the obvious dictionary index, plus:
 from __future__ import annotations
 
 import random
+import threading
 from collections.abc import Iterable, Mapping
 from fractions import Fraction
 from numbers import Rational
@@ -37,13 +38,34 @@ class VariableTable:
 
     ``version`` counts successful :meth:`add` calls; the engine's memo
     cache keys on it so entries die whenever W grows (a repair-key fired).
+
+    Mutations are serialized by an internal lock so the registry insert
+    and the version bump are one atomic step even when a threaded server
+    shares the session (two racing repair-keys must never produce a
+    table whose contents and version disagree).  Reads stay lock-free —
+    the dict is only ever *extended*, and version checks are advisory.
+    The lock never travels: pickling (DNFs ship W tables to shard
+    workers) and copying recreate a fresh one.
     """
 
-    __slots__ = ("_vars", "_version")
+    __slots__ = ("_vars", "_version", "_lock")
 
     def __init__(self) -> None:
         self._vars: dict[Var, dict[DomValue, Prob]] = {}
         self._version = 0
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        # Snapshot under the lock: pickling happens on the shard pool's
+        # feeder thread and must not race a concurrent add() (the outer
+        # dict would change size mid-iteration).  Inner distribution
+        # dicts are immutable after add, so a shallow copy suffices.
+        with self._lock:
+            return (dict(self._vars), self._version)
+
+    def __setstate__(self, state) -> None:
+        self._vars, self._version = state
+        self._lock = threading.RLock()
 
     @property
     def version(self) -> int:
@@ -53,8 +75,6 @@ class VariableTable:
     # ------------------------------------------------------------- mutation
     def add(self, var: Var, distribution: Mapping[DomValue, Prob]) -> None:
         """Register a new variable with its full distribution."""
-        if var in self._vars:
-            raise VariableError(f"variable {var!r} already defined")
         dist = dict(distribution)
         if not dist:
             raise VariableError(f"variable {var!r} needs a non-empty domain")
@@ -70,15 +90,21 @@ class VariableTable:
                 raise VariableError(f"distribution of {var!r} sums to {total}, not 1")
         elif abs(total - 1.0) > 1e-9:
             raise VariableError(f"distribution of {var!r} sums to {total}, not 1")
-        self._vars[var] = dist
-        self._version += 1
+        with self._lock:
+            if var in self._vars:
+                raise VariableError(f"variable {var!r} already defined")
+            self._vars[var] = dist
+            self._version += 1
 
     def ensure(self, var: Var, distribution: Mapping[DomValue, Prob]) -> None:
         """Add ``var`` if absent; verify the distribution matches if present."""
-        if var not in self._vars:
-            self.add(var, distribution)
-        elif self._vars[var] != dict(distribution):
-            raise VariableError(f"variable {var!r} redefined with a different distribution")
+        with self._lock:
+            if var not in self._vars:
+                self.add(var, distribution)
+            elif self._vars[var] != dict(distribution):
+                raise VariableError(
+                    f"variable {var!r} redefined with a different distribution"
+                )
 
     # ------------------------------------------------------------- queries
     def __contains__(self, var: Var) -> bool:
@@ -153,8 +179,9 @@ class VariableTable:
     # ------------------------------------------------------------- plumbing
     def copy(self) -> "VariableTable":
         clone = VariableTable()
-        clone._vars = {var: dict(dist) for var, dist in self._vars.items()}
-        clone._version = self._version
+        with self._lock:
+            clone._vars = {var: dict(dist) for var, dist in self._vars.items()}
+            clone._version = self._version
         return clone
 
     def as_relation(self) -> Relation:

@@ -1,6 +1,15 @@
-"""Small shared utilities: seeded RNG plumbing and ASCII table rendering."""
+"""Small shared utilities: seeded RNG plumbing, shard-parallel execution,
+and ASCII table rendering."""
 
+from repro.util.parallel import ShardExecutor, default_workers, spawn_shard_rng
 from repro.util.rng import ensure_rng, spawn_rng
 from repro.util.tables import format_table
 
-__all__ = ["ensure_rng", "spawn_rng", "format_table"]
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "spawn_shard_rng",
+    "ShardExecutor",
+    "default_workers",
+    "format_table",
+]

@@ -1,0 +1,302 @@
+"""Deterministic multi-core shard execution.
+
+The paper's approximation machinery is embarrassingly parallel: tuple
+confidences are independent DNF weights (Section 4), the Proposition 4.2
+trial budget m = ⌈3·|F|·ln(2/δ)/ε²⌉ is a sum of i.i.d. trials that can be
+drawn in any partition, and the Theorem 6.7 driver hands every σ̂ value a
+private round allocation.  :class:`ShardExecutor` is the one fan-out
+primitive behind all three: it cuts a workload into *shards*, runs the
+shards on a process pool (or serially, in process, when ``workers <= 1``
+or multiprocessing is unavailable), and merges results in shard order.
+
+Determinism is the hard contract, and it rests on two rules:
+
+1. **The shard plan never looks at the worker count.**
+   :meth:`ShardExecutor.plan_items` and :meth:`ShardExecutor.plan_trials`
+   partition a workload as a function of its *size* and the executor's
+   plan parameters only, so sessions opened with ``workers=1`` and
+   ``workers=64`` cut identical shards.
+
+2. **Each shard's randomness is a function of its shard index.**
+   :func:`spawn_shard_rng` derives the shard's generator from
+   ``(base entropy, shard index)`` — the indexed analogue of
+   :func:`repro.util.rng.spawn_rng` — never from pop order, completion
+   order, or worker identity.
+
+Together these make sharded results *bit-identical* for every worker
+count, including the serial in-process path: parallelism changes
+wall-clock time, never answers.  (This is also what makes the fallback
+safe — an environment that cannot fork simply runs the same shards
+serially and produces the same bits.)  The plan parameters are part of
+the determinism contract: :attr:`ShardExecutor.plan_token` names them so
+memoization layers can key results on the merge schedule.
+
+Worker processes are forked (fork keeps the parent's hash seed, so
+pickled ``Condition`` hashes stay consistent across the pool); platforms
+without ``fork`` degrade to the serial path rather than risk divergent
+hashing under ``spawn``.  The pool is created lazily on the first
+genuinely parallel map and torn down by :meth:`close` or garbage
+collection, so sessions that never shard never pay for a pool.  One
+CPython caveat follows from fork: forking a process that already runs
+many threads can inherit locks held mid-operation.  A threaded server
+that shares a sharded session should run one sharded workload (forking
+the pool) *before* spawning its worker threads — or keep sharded
+sessions per-thread; moving to ``forkserver`` with an explicit hash-seed
+handoff is tracked in the ROADMAP.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import threading
+import weakref
+from collections.abc import Callable, Sequence
+
+__all__ = [
+    "DEFAULT_MAX_SHARDS",
+    "DEFAULT_MIN_SHARD_ITEMS",
+    "DEFAULT_MIN_SHARD_TRIALS",
+    "ShardExecutor",
+    "shard_seed",
+    "spawn_shard_rng",
+    "default_workers",
+]
+
+DEFAULT_MAX_SHARDS = 16
+"""Upper bound on shards per plan (worker-count independent)."""
+
+DEFAULT_MIN_SHARD_ITEMS = 8
+"""Fewest list items (e.g. per-tuple DNFs) worth a shard of their own."""
+
+DEFAULT_MIN_SHARD_TRIALS = 4096
+"""Fewest Monte-Carlo trials worth a block of their own."""
+
+_WORKERS_ENV = "REPRO_WORKERS"
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 output step — a cheap, well-mixed 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+def shard_seed(base: int, index: int) -> int:
+    """The seed of shard ``index`` under batch entropy ``base``.
+
+    A pure function of its arguments (no process state, no hash
+    randomization), so every worker count — and every platform — derives
+    the same per-shard stream.
+    """
+    return _splitmix64(_splitmix64(base) ^ _splitmix64(index + 1))
+
+
+def spawn_shard_rng(base: int, index: int) -> random.Random:
+    """An independent generator for shard ``index`` (see :func:`shard_seed`).
+
+    The indexed counterpart of :func:`repro.util.rng.spawn_rng`: the
+    parent contributes ``base`` (one ``getrandbits(64)`` draw per batch),
+    the shard contributes its index, and the child stream depends on
+    nothing else.
+    """
+    return random.Random(shard_seed(base, index))
+
+
+def default_workers() -> int | None:
+    """The ambient worker count from ``REPRO_WORKERS``, or ``None``.
+
+    Lets a deployment (or a CI leg) opt whole processes into sharded
+    execution without touching call sites; an unset or empty variable
+    means "no executor" and a non-integer value is a loud error.
+    """
+    raw = os.environ.get(_WORKERS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_WORKERS_ENV} must be an integer worker count, got {raw!r}"
+        ) from None
+
+
+class ShardExecutor:
+    """Deterministic shard-parallel map over a process pool.
+
+    ``workers`` is the degree of parallelism: ``<= 1`` runs every shard
+    serially in process (bit-identical to any parallel run, by the plan
+    contract above).  The plan parameters (``max_shards``,
+    ``min_shard_items``, ``min_shard_trials``) shape how workloads are
+    cut; two executors with equal plan parameters produce equal results
+    at any worker counts.  Oversubscription is allowed — asking for four
+    workers on one core is correct, just not faster.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        max_shards: int = DEFAULT_MAX_SHARDS,
+        min_shard_items: int = DEFAULT_MIN_SHARD_ITEMS,
+        min_shard_trials: int = DEFAULT_MIN_SHARD_TRIALS,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if max_shards < 1 or min_shard_items < 1 or min_shard_trials < 1:
+            raise ValueError("shard plan parameters must be >= 1")
+        self.workers = workers
+        self.max_shards = max_shards
+        self.min_shard_items = min_shard_items
+        self.min_shard_trials = min_shard_trials
+        self._pool = None
+        self._pool_broken = False
+        self._closed = False
+        self._finalizer = None
+        # Sessions may be shared across threads; pool creation/teardown
+        # must not race (two racing creators would leak a pool until GC).
+        self._pool_lock = threading.Lock()
+
+    # ----------------------------------------------------------- the plan
+    @property
+    def plan_token(self) -> tuple:
+        """Hashable identity of the merge schedule (NOT the worker count).
+
+        Results depend on how work is *cut*, never on how many workers
+        run the cuts, so the token names only the plan parameters.  Memo
+        caches include it so estimates computed under different schedules
+        never share an entry.
+        """
+        return ("shards", self.max_shards, self.min_shard_items, self.min_shard_trials)
+
+    def plan_items(self, n_items: int) -> list[tuple[int, int]]:
+        """Contiguous ``[start, stop)`` shards over a list of ``n_items``.
+
+        A function of ``n_items`` and the plan parameters only: at most
+        ``max_shards`` shards, none smaller than ``min_shard_items``
+        (sizes differ by at most one).
+        """
+        if n_items <= 0:
+            return []
+        shards = min(self.max_shards, n_items // self.min_shard_items)
+        if shards <= 1:
+            return [(0, n_items)]
+        base, extra = divmod(n_items, shards)
+        bounds = [0]
+        for i in range(shards):
+            bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+        return list(zip(bounds, bounds[1:]))
+
+    def plan_trials(self, n_trials: int) -> list[int]:
+        """Per-block trial counts for a budget of ``n_trials``.
+
+        Same contract as :meth:`plan_items`: at most ``max_shards``
+        blocks, none smaller than ``min_shard_trials``, sizes summing to
+        exactly ``n_trials`` — the Proposition 4.2 budget is preserved,
+        merely partitioned.
+        """
+        if n_trials <= 0:
+            return []
+        blocks = min(self.max_shards, n_trials // self.min_shard_trials)
+        if blocks <= 1:
+            return [n_trials]
+        base, extra = divmod(n_trials, blocks)
+        return [base + (1 if i < extra else 0) for i in range(blocks)]
+
+    # ------------------------------------------------------------ running
+    @property
+    def parallel(self) -> bool:
+        """Whether maps may actually fan out to worker processes."""
+        return self.workers >= 2 and not self._pool_broken and not self._closed
+
+    def map(self, fn: Callable, tasks: Sequence[tuple]) -> list:
+        """``[fn(*args) for args in tasks]``, one task per shard.
+
+        Results come back in task order regardless of completion order.
+        ``fn`` must be a module-level function and its arguments
+        picklable; unpicklable workloads (exotic user-defined variable
+        names) quietly run the serial path instead — same results, by
+        the determinism contract.  Exceptions raised *by the task* are
+        propagated.
+        """
+        tasks = list(tasks)
+        if len(tasks) <= 1 or not self.parallel:
+            return [fn(*args) for args in tasks]
+        # Validate picklability up front and never hand the pool an
+        # unpicklable item: CPython's pool wedges its manager thread when
+        # queued work items fail to pickle (observed on 3.11), so an
+        # unpicklable workload (e.g. a strategy holding a lock) must take
+        # the serial path *before* submission — same answers, by the
+        # plan/seed contract.  This also keeps genuine task exceptions
+        # unambiguous: anything raised after this point is from the task.
+        try:
+            for args in tasks:
+                pickle.dumps((fn, args), protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return [fn(*args) for args in tasks]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(*args) for args in tasks]
+        from concurrent.futures.process import BrokenProcessPool
+
+        futures = [pool.submit(fn, *args) for args in tasks]
+        try:
+            return [f.result() for f in futures]
+        except (BrokenProcessPool, OSError):
+            # A broken pool degrades this executor to serial for good.
+            self._discard_pool(broken=True)
+            return [fn(*args) for args in tasks]
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is not None:
+                return self._pool
+            if self._pool_broken or self._closed:
+                return None
+            try:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                context = multiprocessing.get_context("fork")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            except (ImportError, OSError, ValueError):
+                # No multiprocessing / no fork on this platform: stay serial.
+                self._pool_broken = True
+                return None
+            self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+            return self._pool
+
+    def _discard_pool(self, broken: bool = False) -> None:
+        with self._pool_lock:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            if self._pool is not None:
+                _shutdown_pool(self._pool)
+                self._pool = None
+            self._pool_broken = self._pool_broken or broken
+
+    def close(self) -> None:
+        """Shut the worker pool down (maps keep working, serially)."""
+        self._closed = True
+        self._discard_pool()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ShardExecutor(workers={self.workers}, max_shards={self.max_shards})"
+
+
+def _shutdown_pool(pool) -> None:
+    # wait=True: workers are idle by the time an executor is torn down,
+    # so the join is immediate — and a non-waiting shutdown can leave the
+    # management thread in a state that deadlocks interpreter exit after
+    # a failed work-item pickle.
+    pool.shutdown(wait=True, cancel_futures=True)

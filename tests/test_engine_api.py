@@ -335,7 +335,9 @@ class TestMemoCache:
 
         cached_keys = [k for k in db._cache._data if k[0] == "conf"]
         expected = ("karp-luby", 0.3, 0.2, default_backend())
-        assert any(k[-1] == expected for k in cached_keys)
+        # A sharded session (e.g. REPRO_WORKERS set) appends its merge
+        # schedule to the token; the strategy configuration is the prefix.
+        assert any(k[-1][: len(expected)] == expected for k in cached_keys)
 
     def test_strategy_swap_invalidates_query_cache(self):
         """Swapping db.strategy must not serve results of the old one."""

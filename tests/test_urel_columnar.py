@@ -475,21 +475,42 @@ class TestEngineBackendParity:
             confs[backend] = {t: r.value for t, r in reports.items()}
         assert confs["python"] == confs["numpy"]
 
-    def test_scratch_evaluators_share_coding_context(self):
-        # explain() runs on a db copy; the copy must share the session's
-        # ColumnarContext (like the condition pool) so per-relation
-        # encoding memos keep hitting instead of thrashing between a
-        # session context and a throwaway scratch one.
+    def test_database_copies_get_private_coding_context(self):
+        # connect(..., copy=True) promises a *private* copy: a scratch
+        # evaluator (explain) or a second session must never mutate the
+        # original's ColumnarContext or ConditionPool.  Copies instead
+        # get a warm snapshot — same codes assigned so far, independent
+        # growth afterwards.
         db = _random_udb(8)
         session = repro.connect(db, backend="numpy", copy=True)
+        session.query(query(rel("R").project(["A"])))
         ctx = session.db.columnar_context
         assert ctx is not None
-        session.query(query(rel("R").project(["A"])))
-        encoded = session.db.relation("R").__dict__.get("_columnar")
+        encoded = {
+            c: e
+            for c, e in session.db.relation("R").__dict__.get("_columnar", ())
+        }
         session.explain("project[A](R)")
-        assert session.db.columnar_context is ctx
-        assert session.db.copy().columnar_context is ctx
-        assert session.db.relation("R").__dict__.get("_columnar") == encoded
+        assert session.db.columnar_context is ctx  # explain left the session alone
+        # ... and the scratch copy's context did not evict the session's
+        # encoding memo from the shared URelation (two-slot memo).
+        after = {
+            c: e
+            for c, e in session.db.relation("R").__dict__.get("_columnar", ())
+        }
+        for c, e in encoded.items():
+            assert after.get(c) is e
+
+        copied = session.db.copy()
+        assert copied.columnar_context is not ctx
+        assert copied.condition_pool is not session.db.condition_pool
+        assert copied.w is not session.db.w
+        # Warm: every value coded by the session decodes identically in the copy.
+        assert copied.columnar_context.values.index == ctx.values.index
+        # Isolated: new codes in the copy never appear in the original.
+        before = len(ctx.values)
+        copied.columnar_context.values.code(("fresh-value", 999))
+        assert len(ctx.values) == before
 
     def test_explain_reports_operator_path(self, coin_session_after_T):
         plan = coin_session_after_T.explain("project[CoinType](select[Toss = 1](S))")
