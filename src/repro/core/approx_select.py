@@ -50,7 +50,11 @@ from repro.algebra import schema as _schema
 from repro.algebra.builder import Q
 from repro.algebra.relations import Relation
 from repro.confidence.dnf import Dnf
-from repro.core.approximator import PredicateApproximator, PredicateDecision
+from repro.core.approximator import (
+    PredicateApproximator,
+    PredicateDecision,
+    decide_candidates_shard,
+)
 from repro.core.error_bounds import AnnotatedRelation, cap
 from repro.urel.conditions import TOP
 from repro.urel.translate import (
@@ -60,6 +64,7 @@ from repro.urel.translate import (
 )
 from repro.urel.udatabase import UDatabase
 from repro.urel.urelation import URelation, URow
+from repro.util.parallel import shard_seed
 from repro.util.rng import ensure_rng, spawn_rng
 
 __all__ = ["ApproxQueryEvaluator", "DecisionRecord", "UnreliableInputError"]
@@ -420,29 +425,18 @@ class ApproxQueryEvaluator:
         present: dict[URow, float] = {}
         phantom: dict[URow, float] = {}
         singular: set[URow] = set()
+        empty = Dnf((), w)
+        specs: list[tuple[tuple, dict, dict[str, Dnf]]] = []
         for cand in sorted(joined.rows, key=repr):
             cand_env = dict(zip(joined.columns, cand))
-            dnfs = {}
-            empty = Dnf((), w)
-            for p_name, group, dnf_map, gpos in zip(
-                node.p_names, node.groups, group_dnfs, group_positions
-            ):
-                key = tuple(cand_env[a] for a in group)
-                dnfs[p_name] = dnf_map.get(key, empty)
-            approximator = PredicateApproximator(
-                node.predicate,
-                dnfs,
-                self.eps0,
-                spawn_rng(self.rng),
-                constants=cand_env,
-                epsilon_method=self.epsilon_method,
-                backend=self.backend,
-                executor=self.executor,
-            )
-            if self.rounds is not None:
-                decision = approximator.run_rounds(self.rounds)
-            else:
-                decision = approximator.decide(self.decision_delta)
+            dnfs = {
+                p_name: dnf_map.get(tuple(cand_env[a] for a in group), empty)
+                for p_name, group, dnf_map in zip(node.p_names, node.groups, group_dnfs)
+            }
+            specs.append((cand, cand_env, dnfs))
+        for (cand, cand_env, _dnfs), decision in zip(
+            specs, self._decide_candidates(node, specs)
+        ):
             prov_mu, tainted = provenance_bound(cand_env)
             bound = cap(decision.error_bound + prov_mu)
             out_values = cand + tuple(
@@ -459,6 +453,71 @@ class ApproxQueryEvaluator:
             if decision.suspected_singularity or tainted:
                 singular.add(row)
         return self._build(out_cols, present, phantom, singular, True)
+
+    def _decide_candidates(
+        self, node: ApproxSelect, specs: list[tuple[tuple, dict, dict[str, Dnf]]]
+    ) -> list[PredicateDecision]:
+        """Figure 3 decisions for the sorted σ̂ candidates, fanned out when wide.
+
+        With a session executor and enough candidates to cut
+        (:meth:`~repro.util.parallel.ShardExecutor.plan_items` — a
+        function of the candidate count only), candidates are decided
+        concurrently: one pre-spawned stream per candidate, seeded from
+        its *position* in the sorted candidate order, and the
+        per-candidate Figure 3 runs keep their whole allocation in one
+        worker (no nested trial sharding).  Results are bit-identical at
+        every worker count, including the in-process serial fallback,
+        because both the plan and the seeds ignore the worker count.
+
+        Narrow selections (and executor-less evaluators) keep the
+        sequential loop: one stream spawned per candidate from the
+        evaluator generator in candidate order — byte-compatible with
+        the pre-candidate-parallel engine — with each value's trial
+        allocation still sharded *within* the candidate when an
+        executor is present.
+        """
+        executor = self.executor
+        if executor is not None:
+            shards = executor.plan_items(len(specs))
+            if len(shards) > 1:
+                base = self.rng.getrandbits(64)
+                tasks = [
+                    (
+                        node.predicate,
+                        [
+                            (specs[i][2], specs[i][1], shard_seed(base, i))
+                            for i in range(start, stop)
+                        ],
+                        self.eps0,
+                        self.rounds,
+                        self.decision_delta,
+                        self.epsilon_method,
+                        self.backend,
+                    )
+                    for start, stop in shards
+                ]
+                return [
+                    decision
+                    for shard in executor.map(decide_candidates_shard, tasks)
+                    for decision in shard
+                ]
+        decisions = []
+        for _cand, cand_env, dnfs in specs:
+            approximator = PredicateApproximator(
+                node.predicate,
+                dnfs,
+                self.eps0,
+                spawn_rng(self.rng),
+                constants=cand_env,
+                epsilon_method=self.epsilon_method,
+                backend=self.backend,
+                executor=executor,
+            )
+            if self.rounds is not None:
+                decisions.append(approximator.run_rounds(self.rounds))
+            else:
+                decisions.append(approximator.decide(self.decision_delta))
+        return decisions
 
     # ------------------------------------------------------------- helpers
     @staticmethod

@@ -52,7 +52,12 @@ from repro.core.readonce import duplicate_variables, epsilon_by_corners, is_read
 from repro.core.values import ApproximableValue, as_approximable
 from repro.util.rng import ensure_rng, spawn_rng
 
-__all__ = ["PredicateDecision", "PredicateApproximator", "approximate_predicate"]
+__all__ = [
+    "PredicateDecision",
+    "PredicateApproximator",
+    "approximate_predicate",
+    "decide_candidates_shard",
+]
 
 
 @dataclass(frozen=True)
@@ -299,6 +304,45 @@ def _is_linear(predicate: BoolExpr) -> bool:
     if isinstance(predicate, Not):
         return _is_linear(predicate.arg)
     return True  # boolean constants
+
+
+def decide_candidates_shard(
+    predicate: BoolExpr,
+    specs: list[tuple[Mapping[str, "Dnf"], Mapping[str, object], int]],
+    eps0: float,
+    rounds: int | None,
+    decision_delta: float | None,
+    epsilon_method: str,
+    backend: str | None,
+) -> list[PredicateDecision]:
+    """Decide one shard of σ̂ candidate tuples (module level: pickles).
+
+    Each spec is ``(values, constants, seed)`` for one candidate of an
+    approximate selection; the seed was derived from the candidate's
+    *position* in the (sorted) candidate order by
+    :func:`repro.util.parallel.shard_seed`, so every worker count — and
+    the in-process serial fallback — replays identical streams.  The
+    per-candidate Figure 3 runs never nest a pool of their own: each
+    candidate's trial allocation is one worker's work by construction,
+    which is exactly what makes candidate fan-out profitable for wide
+    selections where per-value trial sharding has nothing left to cut.
+    """
+    decisions = []
+    for values, constants, seed in specs:
+        approximator = PredicateApproximator(
+            predicate,
+            values,
+            eps0,
+            random.Random(seed),
+            constants=constants,
+            epsilon_method=epsilon_method,
+            backend=backend,
+        )
+        if rounds is not None:
+            decisions.append(approximator.run_rounds(rounds))
+        else:
+            decisions.append(approximator.decide(decision_delta))
+    return decisions
 
 
 def approximate_predicate(

@@ -96,9 +96,13 @@ def evaluate_with_guarantee(
     Figure 3 decisions, so every stochastic value's whole (ε, δ)-derived
     allocation of l·|Fᵢ| Karp–Luby trials is drawn as one vectorized
     block rather than trial by trial.  An ``executor``
-    (:class:`~repro.util.parallel.ShardExecutor`) further distributes
-    each value's allocation over worker processes as deterministic
-    per-block budgets — results stay bit-identical at any worker count.
+    (:class:`~repro.util.parallel.ShardExecutor`) fans the σ̂ work out
+    over worker processes: wide selections decide their candidate
+    tuples *concurrently* (one pre-spawned stream per candidate, seeded
+    by its position in the sorted candidate order), while narrow ones
+    distribute each value's trial allocation as deterministic per-block
+    budgets instead — the regime switch depends only on the candidate
+    count, so results stay bit-identical at any worker count.
     """
     node = query.q if isinstance(query, Q) else query
     if not 0 < delta < 1:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import abc
 import math
+import numbers
 import random
 from collections.abc import Callable
 
@@ -278,13 +279,17 @@ def as_approximable(
     """Coerce user input into an :class:`ApproximableValue`.
 
     Disjunctions become Karp–Luby values (the paper's case) on the given
-    trial ``backend`` and shard ``executor``; numbers become exact
-    constants; existing values pass through.
+    trial ``backend`` and shard ``executor``; numbers — including exact
+    rationals like the :class:`~fractions.Fraction` confidences the
+    exact solvers produce — become exact constants; existing values pass
+    through.  ``bool`` is rejected: a truth value is a predicate's
+    *output*, and silently reading one as the constant 0.0/1.0 would
+    mask a caller bug.
     """
     if isinstance(value, ApproximableValue):
         return value
     if isinstance(value, Dnf):
         return KarpLubyValue(value, rng, backend=backend, executor=executor)
-    if isinstance(value, (int, float)):
+    if isinstance(value, numbers.Real) and not isinstance(value, bool):
         return ExactValue(value)
     raise TypeError(f"cannot treat {value!r} as an approximable value")

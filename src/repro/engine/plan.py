@@ -42,7 +42,7 @@ if TYPE_CHECKING:
     from repro.urel.evaluate import UEvaluator
     from repro.util.parallel import ShardExecutor
 
-__all__ = ["PlanNode", "ExplainReport", "explain_plan"]
+__all__ = ["PlanNode", "ExplainReport", "explain_plan", "BELOW_THRESHOLD"]
 
 
 @dataclass
@@ -105,20 +105,57 @@ class ExplainReport:
         return f"plan (session strategy: {self.strategy})\n{self.text}"
 
 
-def _method_counts(
-    evaluator: "UEvaluator", strategy: "ConfidenceStrategy", child: Query, groups=None
-) -> dict[str, int]:
-    """Evaluate ``child`` and tally the backend chosen for each tuple's DNF."""
-    relation, _complete = evaluator.eval(child)
+def _eval_rep_cached(evaluator: "UEvaluator", node: Query, cache: dict):
+    """``evaluator._eval_rep(node)``'s representation, memoized per pass.
+
+    Explain inspects actual data at every conf *and* product/join node,
+    so without a memo a left-deep chain of k joins would re-evaluate its
+    bottom relations O(k) times.  The *in-flight* representation is
+    cached (columnar on the numpy path, scalar otherwise) — the very
+    object the runtime's lift test inspects, so the cost-model
+    annotations cannot diverge from what the evaluator would actually
+    do with this node's children.  Keyed by node identity: the tree
+    root keeps every node alive for the duration of the pass.
+    """
+    rep = cache.get(id(node))
+    if rep is None:
+        rep, _complete = evaluator._eval_rep(node)
+        cache[id(node)] = rep
+    return rep
+
+
+def _eval_relation(evaluator: "UEvaluator", node: Query, cache: dict):
+    """The materialized (scalar) relation for ``node``, via the rep memo."""
+    return evaluator._materialize(_eval_rep_cached(evaluator, node, cache))
+
+
+def _conf_observations(
+    evaluator: "UEvaluator",
+    strategy: "ConfidenceStrategy",
+    child: Query,
+    cache: dict,
+    groups=None,
+) -> tuple[dict[str, int], list[Dnf]]:
+    """Evaluate ``child``; tally the backend chosen per tuple DNF + keep the DNFs.
+
+    The DNF list doubles as the workload the shard cost model inspects:
+    its length is what :meth:`~repro.util.parallel.ShardExecutor.plan_items`
+    cuts, and each member's :meth:`ConfidenceStrategy.trial_budget` is
+    what :meth:`~repro.util.parallel.ShardExecutor.plan_trials` cuts.
+    """
+    relation = _eval_relation(evaluator, child, cache)
     counts: dict[str, int] = {}
+    dnfs: list[Dnf] = []
     targets = [relation] if groups is None else [
         relation.project(list(group)) for group in groups
     ]
     for target in targets:
         for row in target.possible_tuples().rows:
-            method = strategy.choose(Dnf.for_tuple(target, row, evaluator.db.w))
+            dnf = Dnf.for_tuple(target, row, evaluator.db.w)
+            dnfs.append(dnf)
+            method = strategy.choose(dnf)
             counts[method] = counts.get(method, 0) + 1
-    return counts
+    return counts, dnfs
 
 
 def explain_plan(
@@ -136,7 +173,7 @@ def explain_plan(
     a session shard ``executor`` annotates the confidence operators it
     fans out with ``·sharded[n]`` (n = configured workers).
     """
-    return ExplainReport(_build(node, evaluator, strategy, executor), strategy.name)
+    return ExplainReport(_build(node, evaluator, strategy, executor, {}), strategy.name)
 
 
 def _operator_path(evaluator) -> str:
@@ -150,19 +187,92 @@ def _operator_path(evaluator) -> str:
     return "columnar[numpy]" if backend == "numpy" else "scalar[indexed]"
 
 
-def _sharded_path(executor) -> str | None:
-    """The ``sharded[n]`` annotation for confidence operators.
+BELOW_THRESHOLD = "below-threshold"
+"""Annotation suffix: the executor would not fan this workload out.
+
+The README's "when serial wins" guidance, mechanized: a sharded session
+pays nothing for workloads under the profitable shard size — they run
+serially, in process — but a plan that *says so* lets an operator reading
+``explain`` output see that raising ``workers`` cannot help this query.
+"""
+
+
+def _sharded_path(executor, fans_out: bool | None = None) -> str | None:
+    """The ``sharded[n]`` annotation for fanned-out operators.
 
     Shown whenever the session carries an executor: the *plan* (and the
     results) are those of the sharded code path even at ``workers=1``,
-    where the shards merely run serially.
+    where the shards merely run serially.  ``fans_out=False`` appends
+    the ``below-threshold`` warning — the workload is under the
+    profitable shard size, so every worker count runs it serially.
     """
-    return None if executor is None else f"sharded[{executor.workers}]"
+    if executor is None:
+        return None
+    path = f"sharded[{executor.workers}]"
+    if fans_out is False:
+        path += f"·{BELOW_THRESHOLD}"
+    return path
 
 
-def _build(node: Query, evaluator, strategy, executor=None) -> PlanNode:
+def _conf_fans_out(executor, strategy, dnfs) -> bool | None:
+    """Whether a conf-family workload clears the profitable shard size.
+
+    Mirrors the runtime's two levers: the per-tuple DNF list shards when
+    ``plan_items`` cuts it, and a batch too short to cut still fans out
+    when some tuple's Monte-Carlo budget alone fills worker blocks
+    (``plan_trials`` of :meth:`ConfidenceStrategy.trial_budget`).
+    """
+    if executor is None:
+        return None
+    if len(executor.plan_items(len(dnfs))) > 1:
+        return True
+    return any(len(executor.plan_trials(strategy.trial_budget(dnf))) > 1 for dnf in dnfs)
+
+
+def _algebra_path(node: Query, evaluator, executor, cache: dict) -> str:
+    """The operator-engine annotation for a product/join node.
+
+    On the columnar path with a session executor, the pair merge may
+    shard.  The fan-out test consults the *same* schedule the operator
+    runs: products (and joins without shared attributes, which fall to
+    the all-pairs path) ask ``plan_all_pairs`` over the child row
+    counts; key joins ask ``plan_pairs`` over n₁·n₂ — an upper bound on
+    the candidate pairs the key match emits, so a join annotated
+    ``below-threshold`` certainly runs serially while one annotated
+    sharded may still fall back if few keys match.  Below the
+    profitable size the node carries the ``below-threshold`` warning.
+    The scalar path never shards and stays bare.
+    """
+    path = _operator_path(evaluator)
+    if executor is None or path != "columnar[numpy]":
+        return path
+    left = _eval_rep_cached(evaluator, node.left, cache)
+    right = _eval_rep_cached(evaluator, node.right, cache)
+    # Consult the evaluator's own lift test, on the same in-flight
+    # representations the runtime would hold here: operands the runtime
+    # refuses to make columnar (outside the row/variable envelope,
+    # cross-type conflation taint, merged condition layout too wide)
+    # run the scalar serial operator — annotating them "sharded" would
+    # promise a fan-out that cannot happen — while columnar-born
+    # intermediates stay columnar however small they are.
+    if evaluator._lift_pair(left, right) is None:
+        return "scalar[indexed]"
+    n1, n2 = len(left), len(right)
+    all_pairs = isinstance(node, Product) or not (
+        set(left.columns) & set(right.columns)
+    )
+    if all_pairs:
+        fans_out = len(executor.plan_all_pairs(n1, n2)) > 1
+    else:
+        fans_out = len(executor.plan_pairs(n1 * n2)) > 1
+    return f"{path}·{_sharded_path(executor, fans_out)}"
+
+
+def _build(node: Query, evaluator, strategy, executor=None, cache=None) -> PlanNode:
+    if cache is None:
+        cache = {}
     children = tuple(
-        _build(c, evaluator, strategy, executor) for c in _children_of(node)
+        _build(c, evaluator, strategy, executor, cache) for c in _children_of(node)
     )
     path = _operator_path(evaluator)
 
@@ -189,9 +299,17 @@ def _build(node: Query, evaluator, strategy, executor=None) -> PlanNode:
             path=path,
         )
     if isinstance(node, Product):
-        return PlanNode("product", children=children, path=path)
+        return PlanNode(
+            "product",
+            children=children,
+            path=_algebra_path(node, evaluator, executor, cache),
+        )
     if isinstance(node, Join):
-        return PlanNode("join", children=children, path=path)
+        return PlanNode(
+            "join",
+            children=children,
+            path=_algebra_path(node, evaluator, executor, cache),
+        )
     if isinstance(node, Union):
         return PlanNode("union", children=children, path=path)
     if isinstance(node, Difference):
@@ -202,40 +320,69 @@ def _build(node: Query, evaluator, strategy, executor=None) -> PlanNode:
     if isinstance(node, Poss):
         return PlanNode("poss", children=children)
     if isinstance(node, Conf):
-        counts = _method_counts(evaluator, strategy, node.child)
+        counts, dnfs = _conf_observations(evaluator, strategy, node.child, cache)
         return PlanNode(
             "conf",
             node.p_name,
             strategy=strategy.name,
             methods=counts,
             children=children,
-            path=_sharded_path(executor),
+            path=_sharded_path(executor, _conf_fans_out(executor, strategy, dnfs)),
         )
     if isinstance(node, Cert):
-        counts = _method_counts(evaluator, strategy, node.child)
+        counts, _dnfs = _conf_observations(evaluator, strategy, node.child, cache)
         return PlanNode(
             "cert", strategy=strategy.name, methods=counts, children=children
         )
     if isinstance(node, ApproxConf):
-        counts = _method_counts(evaluator, strategy, node.child)
+        counts, dnfs = _conf_observations(evaluator, strategy, node.child, cache)
         n_tuples = sum(counts.values())
+        # aconf always runs Karp–Luby at the node's own (ε, δ); the cost
+        # model must rate its budgets, not the session strategy's.
+        from repro.engine.strategies import KarpLuby
+
+        node_sampler = KarpLuby(node.eps, node.delta)
         return PlanNode(
             "aconf",
             f"ε={node.eps}, δ={node.delta}",
             strategy="karp-luby",
             methods={"karp-luby": n_tuples},
             children=children,
-            path=_sharded_path(executor),
+            path=_sharded_path(executor, _conf_fans_out(executor, node_sampler, dnfs)),
         )
     if isinstance(node, ApproxSelect):
-        counts = _method_counts(evaluator, strategy, node.child, groups=node.groups)
+        counts, dnfs = _conf_observations(
+            evaluator, strategy, node.child, cache, groups=node.groups
+        )
+        # σ̂ fans out over its *candidate tuples* (one Figure 3 decision
+        # each), which the runtime builds as the natural join of the
+        # group key sets — a count that can far exceed the sum of the
+        # per-group tuple counts for multi-group predicates.  Build the
+        # same join over the observed (present) keys; phantom-derived
+        # keys from approximate subtrees can only add candidates, so a
+        # node annotated as fanning out certainly does.  A narrow
+        # selection still fans out when some group DNF's Monte-Carlo
+        # budget alone fills worker blocks — the sequential candidate
+        # loop shards each value's trial allocation (the session
+        # strategy's budget stands in for the runtime's l·|F| rounds).
+        fans_out = None
+        if executor is not None:
+            relation = _eval_relation(evaluator, node.child, cache)
+            joined = None
+            for group in node.groups:
+                keys = relation.project(list(group)).possible_tuples()
+                joined = keys if joined is None else joined.natural_join(keys)
+            fans_out = len(executor.plan_items(len(joined.rows))) > 1 or any(
+                len(executor.plan_trials(strategy.trial_budget(dnf))) > 1
+                for dnf in dnfs
+            )
         return PlanNode(
             "approx-select",
             unparse_expression(node.predicate),
             strategy=strategy.name,
             methods=counts,
             children=children,
-            path=_sharded_path(executor),
+            path=_sharded_path(executor, fans_out),
         )
     raise TypeError(f"cannot explain query node {node!r}")
 

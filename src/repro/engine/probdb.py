@@ -60,7 +60,7 @@ def connect(
     rng: random.Random | int | None = None,
     copy: bool = False,
     backend: str | None = None,
-    workers: int | None = None,
+    workers: "int | ShardExecutor | None" = None,
 ) -> "ProbDB":
     """Open a :class:`ProbDB` session on ``source``.
 
@@ -79,12 +79,15 @@ def connect(
 
     ``workers`` opts the session into sharded execution
     (:mod:`repro.util.parallel`): confidence batches, Monte-Carlo trial
-    budgets, and driver round allocations fan out over a process pool.
-    Results are *bit-identical for every worker count* (``workers=1``
-    runs the same shard plan serially); omitting ``workers`` keeps the
-    unsharded single-stream code path.  The ``REPRO_WORKERS``
-    environment variable supplies a default when the argument is left
-    ``None``.
+    budgets, driver round allocations, σ̂ candidate decisions, and the
+    columnar algebra's product/join pair merges fan out over a process
+    pool.  Results are *bit-identical for every worker count*
+    (``workers=1`` runs the same shard plan serially); omitting
+    ``workers`` keeps the unsharded single-stream code path.  Pass a
+    :class:`~repro.util.parallel.ShardExecutor` instance instead of an
+    int to customize the shard plan parameters or to share one pool
+    across sessions.  The ``REPRO_WORKERS`` environment variable
+    supplies a default when the argument is left ``None``.
     """
     return ProbDB(
         source,
@@ -101,11 +104,18 @@ def connect(
 class _EngineEvaluator(UEvaluator):
     """A :class:`UEvaluator` whose ``conf`` goes through the strategy registry."""
 
-    def __init__(self, db, strategy, rng, engine, copy_db=False, backend=None):
+    def __init__(self, db, strategy, rng, engine, copy_db=False, backend=None, executor=None):
         # cert and σ̂ conf-joins must stay exact (Example 5.7); honor an
         # explicitly-exact session strategy there, default to decomposition.
         conf_method = "enumeration" if strategy.name == "exact-enumeration" else "decomposition"
-        super().__init__(db, conf_method=conf_method, rng=rng, copy_db=copy_db, backend=backend)
+        super().__init__(
+            db,
+            conf_method=conf_method,
+            rng=rng,
+            copy_db=copy_db,
+            backend=backend,
+            executor=executor,
+        )
         self.strategy = strategy
         self.engine = engine
 
@@ -126,7 +136,7 @@ class ProbDB:
         copy: bool = False,
         cache_size: int | None = 1024,
         backend: str | None = None,
-        workers: int | None = None,
+        workers: "int | ShardExecutor | None" = None,
     ):
         self.db = self._coerce(source, copy)
         # The facade's single ensure_rng call site: every stochastic
@@ -144,15 +154,30 @@ class ProbDB:
         # The session's one fan-out primitive; None keeps the legacy
         # unsharded code path (results byte-compatible with older
         # sessions).  The pool itself is lazy — sessions that never
-        # shard a workload never fork.
-        self.executor = ShardExecutor(workers) if workers is not None else None
+        # shard a workload never fork.  An existing ShardExecutor is
+        # accepted as-is but *borrowed* (custom plan parameters, or a
+        # pool shared across sessions): :meth:`close` only tears down
+        # executors the session constructed itself, so closing one
+        # sharing session cannot silently degrade the others to serial.
+        if isinstance(workers, ShardExecutor):
+            self.executor = workers
+            self._owns_executor = False
+        else:
+            self.executor = ShardExecutor(workers) if workers is not None else None
+            self._owns_executor = self.executor is not None
         self._cache = MemoCache(cache_size)
         # Parsed query texts are cached so a repeated string is the *same*
         # plan (same repair-key op_ids → same random variables, and memo
         # cache keys that can actually repeat).
         self._parse_cache: dict[str, Query] = {}
         self._evaluator = _EngineEvaluator(
-            self.db, self.strategy, self._rng, self, copy_db=False, backend=self.backend
+            self.db,
+            self.strategy,
+            self._rng,
+            self,
+            copy_db=False,
+            backend=self.backend,
+            executor=self.executor,
         )
 
     @staticmethod
@@ -195,6 +220,12 @@ class ProbDB:
         if self._cache.enabled:
             fingerprint = query_fingerprint(node)
             token = self.strategy.cache_token
+            if self.executor is not None:
+                # A sharded session's algebra runs the sharded pair-merge
+                # schedule; results are bit-identical at any worker count
+                # *given the plan*, so entries are keyed on the plan token
+                # (the merge schedule), mirroring the conf cache keys.
+                token = token + (self.executor.plan_token,)
             cached = self._cache.get(
                 ("query", fingerprint, token, self.db.version, self.db.w.version)
             )
@@ -291,13 +322,17 @@ class ProbDB:
         node, _source = self._resolve(query)
         # Fixed-seed scratch RNG: explain only *chooses* methods (never
         # samples for answers), and a read-only introspection call must not
-        # perturb the session generator or later stochastic results.
+        # perturb the session generator or later stochastic results.  The
+        # scratch evaluator shares the session executor — one pool serves
+        # both the confidence and the algebra layer, and close() tears it
+        # down once.
         scratch = UEvaluator(
             self.db,
             conf_method="decomposition",
             rng=random.Random(0),
             copy_db=True,
             backend=self.backend,
+            executor=self.executor,
         )
         return explain_plan(node, scratch, self.strategy, executor=self.executor)
 
@@ -453,11 +488,17 @@ class ProbDB:
     def close(self) -> None:
         """Release the session's worker pool (if any).
 
-        The session stays usable — sharded workloads simply run their
-        (identical) serial path afterwards.  Garbage collection also
-        reclaims the pool, so calling this is a courtesy, not a duty.
+        One executor serves both layers — confidence/driver fan-outs and
+        the sharded columnar algebra — so this tears down one pool, once.
+        A *borrowed* executor (a ``ShardExecutor`` instance passed to
+        ``connect``, possibly shared with other sessions) is left
+        running: its creator owns the lifecycle.  The session stays
+        usable either way — sharded workloads simply run their
+        (identical) serial path after the pool is gone.  Garbage
+        collection also reclaims owned pools, so calling this is a
+        courtesy, not a duty.
         """
-        if self.executor is not None:
+        if self.executor is not None and self._owns_executor:
             self.executor.close()
 
     def __enter__(self) -> "ProbDB":

@@ -125,6 +125,18 @@ class ConfidenceStrategy:
         """Name of the concrete method :meth:`compute` would run on ``dnf``."""
         return self.name
 
+    def trial_budget(self, dnf: Dnf) -> int:
+        """Monte-Carlo trials :meth:`compute` would spend on ``dnf`` (0 = exact).
+
+        The cost-model hook behind ``explain``'s "when serial wins"
+        annotation: a conf operator whose per-tuple DNF list is too
+        short to shard can still fan out profitably when some tuple's
+        trial budget alone fills worker-sized blocks
+        (:meth:`~repro.util.parallel.ShardExecutor.plan_trials`).  Exact
+        strategies spend none, so they report 0.
+        """
+        return 0
+
     def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
         raise NotImplementedError
 
@@ -381,6 +393,15 @@ class KarpLuby(ConfidenceStrategy):
     def cache_token(self) -> tuple:
         return (self.name, self.eps, self.delta, self.backend)
 
+    def trial_budget(self, dnf: Dnf) -> int:
+        from repro.confidence import bounds
+
+        # Degenerate disjunctions (empty, trivially true, single clause)
+        # are answered exactly by the sampler without drawing a trial.
+        if dnf.is_empty or dnf.is_trivially_true or dnf.size == 1:
+            return 0
+        return bounds.karp_luby_sample_size(self.eps, self.delta, dnf.size)
+
     def compute(
         self,
         dnf: Dnf,
@@ -443,6 +464,11 @@ class NaiveMonteCarlo(ConfidenceStrategy):
     @property
     def cache_token(self) -> tuple:
         return (self.name, self.eps, self.delta, self.backend)
+
+    def trial_budget(self, dnf: Dnf) -> int:
+        if dnf.is_empty or dnf.is_trivially_true:
+            return 0
+        return naive_sample_size_additive(self.eps, self.delta)
 
     def _report(self, dnf: Dnf, estimate) -> ConfidenceReport:
         exact = dnf.is_empty or dnf.is_trivially_true
@@ -539,6 +565,11 @@ class AutoStrategy(ConfidenceStrategy):
         if dnf.size <= self.max_exact_size and len(dnf.variables) <= self.max_exact_variables:
             return self._exact.name
         return self._sampler.name
+
+    def trial_budget(self, dnf: Dnf) -> int:
+        if self.choose(dnf) == self._exact.name:
+            return 0
+        return self._sampler.trial_budget(dnf)
 
     def _rebrand(self, report: ConfidenceReport, method: str) -> ConfidenceReport:
         return ConfidenceReport(

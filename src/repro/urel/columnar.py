@@ -21,7 +21,15 @@ columnar encoding and runs ``select``/``project``/``rename``/``union``/
 * **set semantics** is a lexsort-and-adjacent-compare dedup over the
   concatenated condition+data code matrix (``np.unique(axis=0)`` would
   sort rows as void scalars, which is orders of magnitude slower than
-  per-column int64 key passes).
+  per-column int64 key passes);
+* **product/join pair merges shard across worker processes** when given
+  a :class:`~repro.util.parallel.ShardExecutor`: the bounded merge
+  blocks that already cap peak memory are grouped into contiguous
+  shards by a plan that depends on the operand *row counts* only (never
+  the worker count), each shard runs the same module-level kernel the
+  serial path runs, survivors concatenate in shard order, and the dedup
+  lexsort runs once on the merged result — so sharded results are
+  bit-identical to serial ones at every worker count.
 
 A :class:`ColumnarURelation` decodes back to an exactly equal
 :class:`URelation` (original value objects, interned conditions) via
@@ -34,6 +42,7 @@ on the indexed scalar path.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping, Sequence
 from typing import Optional
 
@@ -60,6 +69,20 @@ __all__ = ["HAS_NUMPY", "ValueCodec", "ColumnarContext", "ColumnarURelation"]
 
 _PAIR_MERGE_BUDGET = 1 << 24
 """Int64 cells a product/join pair-merge may gather per block (~128 MB)."""
+
+_CODEC_LOCK = threading.Lock()
+"""One lock for codec *mutations* (reads stay lock-free).
+
+A session's evaluator — and with it one :class:`ColumnarContext` — is
+shared by every thread querying that session, so two threads can race
+:meth:`ValueCodec.code` on unseen values.  Unlike the idempotent lazy
+caches of :mod:`repro.urel.urelation`, the codec's miss path is NOT
+idempotent: both racers read ``len(values)`` before either appends, and
+two *different* values end up sharing one integer code — which the whole
+engine then treats as value equality.  The lock covers the miss path
+(and the cross-type conflation counter, whose lost updates would
+silently skip the taint fallback), while the hit path — a dict probe of
+a key that, once present, never changes — needs no lock."""
 
 
 class ValueCodec:
@@ -90,8 +113,15 @@ class ValueCodec:
         # *their* cells are affected — the taint is per relation, not a
         # session-wide kill switch.
         self.conflation_events = 0
+        # Construction is thread-private (the codec is published only
+        # after __init__ returns), so seeding bypasses _CODEC_LOCK —
+        # which var_codec may already hold around this constructor.
         for value in seed:
-            self.code(value)
+            got = self.index.get(value)
+            if got is None:
+                self._assign(value)
+            elif type(self.values[got]) is not type(value):
+                self.conflation_events += 1
 
     @property
     def has_conflation(self) -> bool:
@@ -102,13 +132,17 @@ class ValueCodec:
         """A private codec agreeing with this one on every code so far.
 
         The clone and the original diverge independently afterwards —
-        the isolation :meth:`ColumnarContext.snapshot` needs.
+        the isolation :meth:`ColumnarContext.snapshot` needs.  Copied
+        under :data:`_CODEC_LOCK`: a clone torn against a concurrent
+        :meth:`code` miss could hold an index entry pointing past its
+        copied values list.
         """
         clone = ValueCodec()
-        clone.values = list(self.values)
-        clone.index = dict(self.index)
-        clone.has_nonreflexive = self.has_nonreflexive
-        clone.conflation_events = self.conflation_events
+        with _CODEC_LOCK:
+            clone.values = list(self.values)
+            clone.index = dict(self.index)
+            clone.has_nonreflexive = self.has_nonreflexive
+            clone.conflation_events = self.conflation_events
         return clone
 
     def __len__(self) -> int:
@@ -128,17 +162,36 @@ class ValueCodec:
             self._lookup = arr
         return arr
 
+    def _assign(self, value) -> int:
+        """Append ``value`` with a fresh code.  Callers hold the lock
+        (or own the codec privately, as during construction); the list
+        append is published *before* the index entry so a lock-free
+        reader that sees the code can always decode it."""
+        got = len(self.values)
+        self.values.append(value)
+        self.index[value] = got
+        if not (value == value):
+            self.has_nonreflexive = True
+        return got
+
     def code(self, value) -> int:
-        """The code for ``value``, assigning a fresh one if unseen."""
+        """The code for ``value``, assigning a fresh one if unseen.
+
+        Thread-safe: assignment happens under :data:`_CODEC_LOCK` (the
+        hit path stays lock-free — an index entry, once present, never
+        changes).  Two unlocked racers would both read ``len(values)``
+        before either appends and hand two different values one code,
+        which the engine would then read as value equality.
+        """
         got = self.index.get(value)
         if got is None:
-            got = len(self.values)
-            self.index[value] = got
-            self.values.append(value)
-            if not (value == value):
-                self.has_nonreflexive = True
-        elif type(self.values[got]) is not type(value):
-            self.conflation_events += 1
+            with _CODEC_LOCK:
+                got = self.index.get(value)
+                if got is None:
+                    return self._assign(value)
+        if type(self.values[got]) is not type(value):
+            with _CODEC_LOCK:
+                self.conflation_events += 1
         return got
 
 
@@ -185,9 +238,9 @@ class ColumnarContext:
         """
         clone = ColumnarContext(w, pool, self.min_rows, self.max_vars)
         clone.values = self.values.clone()
-        clone._var_codecs = {
-            var: codec.clone() for var, codec in self._var_codecs.items()
-        }
+        with _CODEC_LOCK:
+            var_codecs = dict(self._var_codecs)
+        clone._var_codecs = {var: codec.clone() for var, codec in var_codecs.items()}
         return clone
 
     def worth_encoding(self, urel: URelation) -> bool:
@@ -209,8 +262,11 @@ class ColumnarContext:
     def var_codec(self, var: Var) -> ValueCodec:
         codec = self._var_codecs.get(var)
         if codec is None:
-            codec = ValueCodec(self.w.domain(var) if var in self.w else ())
-            self._var_codecs[var] = codec
+            with _CODEC_LOCK:
+                codec = self._var_codecs.get(var)
+                if codec is None:
+                    codec = ValueCodec(self.w.domain(var) if var in self.w else ())
+                    self._var_codecs[var] = codec
         return codec
 
     def encode(self, urel: URelation) -> "ColumnarURelation":
@@ -435,6 +491,7 @@ class ColumnarURelation:
         li,
         ri,
         rkeep: Sequence[int],
+        executor=None,
     ) -> "ColumnarURelation":
         """Merge candidate row pairs: vectorized consistency check + union.
 
@@ -447,30 +504,43 @@ class ColumnarURelation:
         dominant transient allocation, so capping the block size keeps
         peak memory at O(block × width) plus the surviving rows —
         instead of materializing every candidate pair at once.
+
+        With an ``executor`` the pair index range is cut by
+        :meth:`~repro.util.parallel.ShardExecutor.plan_pairs` — a
+        function of the pair count only, never the worker count — and
+        each contiguous shard runs its (unchanged, still bounded) block
+        loop on a worker; shard survivors are concatenated in shard
+        order, so the result is bit-identical to the serial path.  The
+        dedup lexsort below runs once, on the merged survivors.
         """
         out_vars, left_conds, right_conds = self._aligned_conds(other)
         rkeep = list(rkeep)
         n_pairs = int(li.shape[0])
-        # Cells simultaneously live per pair: both gathered condition
-        # matrices + the merged output (3v int64) + the undef/ok bool
-        # masks (~v/8 each, round up to v) + the gathered data columns.
-        width = max(1, 4 * left_conds.shape[1] + self.data.shape[1] + len(rkeep))
-        block = max(1, _PAIR_MERGE_BUDGET // width)
-        data_parts, cond_parts = [], []
-        for start in range(0, max(n_pairs, 1), block):
-            bl, br = li[start : start + block], ri[start : start + block]
-            left, right = left_conds[bl], right_conds[br]
-            left_undef = left == -1
-            ok = (left_undef | (right == -1) | (left == right)).all(axis=1)
-            if not ok.all():
-                bl, br = bl[ok], br[ok]
-                left, right, left_undef = left[ok], right[ok], left_undef[ok]
-            cond_parts.append(_np.where(left_undef, right, left))
-            data_parts.append(_np.hstack([self.data[bl], other.data[br][:, rkeep]]))
-        if len(data_parts) == 1:
-            data, conds = data_parts[0], cond_parts[0]
+        block = _pair_block_size(len(out_vars), self.data.shape[1], len(rkeep))
+        shards = executor.plan_pairs(n_pairs) if executor is not None else []
+        if len(shards) > 1:
+            parts = executor.map(
+                _indexed_pairs_shard,
+                [
+                    (
+                        left_conds,
+                        right_conds,
+                        self.data,
+                        other.data,
+                        rkeep,
+                        li[start:stop],
+                        ri[start:stop],
+                        block,
+                    )
+                    for start, stop in shards
+                ],
+                validate=False,  # pure int64 arrays: picklable by construction
+            )
+            data, conds = _stack_parts([p[0] for p in parts], [p[1] for p in parts])
         else:
-            data, conds = _np.vstack(data_parts), _np.vstack(cond_parts)
+            data, conds = _indexed_pairs_shard(
+                left_conds, right_conds, self.data, other.data, rkeep, li, ri, block
+            )
         return self._deduped(
             out_cols, data, out_vars, conds, tainted=self.tainted or other.tainted
         )
@@ -568,53 +638,88 @@ class ColumnarURelation:
         )
 
     def _all_pairs_merge(
-        self, other: "ColumnarURelation", out_cols: tuple[str, ...], rkeep: Sequence[int]
+        self,
+        other: "ColumnarURelation",
+        out_cols: tuple[str, ...],
+        rkeep: Sequence[int],
+        executor=None,
     ) -> "ColumnarURelation":
         """Merge every (left, right) row pair, generating pairs in blocks.
 
         The pair *index arrays* themselves are O(n1·n2); materializing
-        them up front would defeat the blocked ``_pair_merge`` bound, so
-        left-row blocks each generate their own repeat/tile slice.
+        them up front would defeat the blocked merge bound, so left-row
+        blocks each generate their own repeat/tile slice — and the shard
+        unit is a contiguous *left-row* range (pairs are laid out
+        left-row-major), each shard covering at least
+        ``min_shard_pairs`` pairs.  The schedule is a function of the
+        two row counts and the plan parameters only; survivors merge in
+        shard order and the dedup lexsort runs once on the result.
         """
+        out_vars, left_conds, right_conds = self._aligned_conds(other)
+        rkeep = list(rkeep)
         n1, n2 = len(self), len(other)
-        if n1 * n2 <= _PAIR_MERGE_BUDGET:
-            li = _np.repeat(_np.arange(n1), n2)
-            ri = _np.tile(_np.arange(n2), n1)
-            return self._pair_merge(other, out_cols, li, ri, rkeep)
-        block_rows = max(1, _PAIR_MERGE_BUDGET // max(n2, 1))
-        parts = []
-        for start in range(0, n1, block_rows):
-            stop = min(start + block_rows, n1)
-            li = _np.repeat(_np.arange(start, stop), n2)
-            ri = _np.tile(_np.arange(n2), stop - start)
-            parts.append(self._pair_merge(other, out_cols, li, ri, rkeep))
-        # Every part shares the same column/condition layout (it is
-        # derived deterministically from self and other).
+        block = _pair_block_size(len(out_vars), self.data.shape[1], len(rkeep))
+        shards = executor.plan_all_pairs(n1, n2) if executor is not None else []
+        if len(shards) > 1:
+            # Each task receives only its contiguous left-row slice
+            # (range rebased to 0) — the shard unit IS a left-row range,
+            # so shipping the whole left operand k times would be pure
+            # serialization waste.  The right operand is read in full by
+            # every shard and travels whole.
+            parts = executor.map(
+                _all_pairs_shard,
+                [
+                    (
+                        left_conds[start:stop],
+                        right_conds,
+                        self.data[start:stop],
+                        other.data,
+                        rkeep,
+                        0,
+                        stop - start,
+                        n2,
+                        block,
+                    )
+                    for start, stop in shards
+                ],
+                validate=False,  # pure int64 arrays: picklable by construction
+            )
+            data, conds = _stack_parts([p[0] for p in parts], [p[1] for p in parts])
+        else:
+            data, conds = _all_pairs_shard(
+                left_conds, right_conds, self.data, other.data, rkeep, 0, n1, n2, block
+            )
         return self._deduped(
-            out_cols,
-            _np.vstack([p.data for p in parts]),
-            parts[0].cond_vars,
-            _np.vstack([p.conds for p in parts]),
-            tainted=self.tainted or other.tainted,
+            out_cols, data, out_vars, conds, tainted=self.tainted or other.tainted
         )
 
-    def product(self, other: "ColumnarURelation") -> "ColumnarURelation":
-        """[[R × S]] — all pairs, vectorized condition merge."""
-        out_cols = _schema.disjoint_union(self.columns, other.columns)
-        return self._all_pairs_merge(other, out_cols, range(len(other.columns)))
+    def product(self, other: "ColumnarURelation", executor=None) -> "ColumnarURelation":
+        """[[R × S]] — all pairs, vectorized condition merge.
 
-    def natural_join(self, other: "ColumnarURelation") -> "ColumnarURelation":
+        ``executor`` (a :class:`~repro.util.parallel.ShardExecutor`)
+        fans the pair merge out over worker processes; results are
+        bit-identical at every worker count, including ``None``.
+        """
+        out_cols = _schema.disjoint_union(self.columns, other.columns)
+        return self._all_pairs_merge(
+            other, out_cols, range(len(other.columns)), executor=executor
+        )
+
+    def natural_join(
+        self, other: "ColumnarURelation", executor=None
+    ) -> "ColumnarURelation":
         """⋈ — hash-free key matching via sort + searchsorted, then merge.
 
         Equal data values share one session-wide code, so key equality is
         integer equality; candidate pairs come out of a grouped
-        repeat/tile over the sorted build side.
+        repeat/tile over the sorted build side.  ``executor`` shards the
+        candidate-pair merge exactly as in :meth:`product`.
         """
         out_cols, shared = _schema.natural_join_schema(self.columns, other.columns)
         rkeep = [i for i, c in enumerate(other.columns) if c not in set(shared)]
         n1, n2 = len(self), len(other)
         if not shared or n1 == 0 or n2 == 0:
-            return self._all_pairs_merge(other, out_cols, rkeep)
+            return self._all_pairs_merge(other, out_cols, rkeep, executor=executor)
         lpos = list(_schema.positions(self.columns, shared))
         rpos = list(_schema.positions(other.columns, shared))
         stacked = _np.vstack([self.data[:, lpos], other.data[:, rpos]])
@@ -630,7 +735,100 @@ class ColumnarURelation:
         offsets = _np.concatenate(([0], _np.cumsum(counts)))[:-1]
         within = _np.arange(total) - _np.repeat(offsets, counts)
         ri = order[_np.repeat(starts, counts) + within]
-        return self._pair_merge(other, out_cols, li, ri, rkeep)
+        return self._pair_merge(other, out_cols, li, ri, rkeep, executor=executor)
+
+
+# --------------------------------------------------------------------------
+# Pair-merge kernels.  Module level so :meth:`ShardExecutor.map` can pickle
+# them to worker processes; the serial path runs the very same functions in
+# process, which is what makes sharded results bit-identical by construction.
+# --------------------------------------------------------------------------
+
+
+def _pair_block_size(n_cond_vars: int, n_left_cols: int, n_keep: int) -> int:
+    """Pairs per bounded merge block for the given output layout.
+
+    Cells simultaneously live per pair: both gathered condition matrices
+    + the merged output (3v int64) + the undef/ok bool masks (~v/8 each,
+    round up to v) + the gathered data columns.
+    """
+    width = max(1, 4 * n_cond_vars + n_left_cols + n_keep)
+    return max(1, _PAIR_MERGE_BUDGET // width)
+
+
+def _merge_pair_block(left_conds, right_conds, left_data, right_data, rkeep, bl, br):
+    """Merge one block of candidate pairs; survivors as ``(data, conds)``."""
+    left, right = left_conds[bl], right_conds[br]
+    left_undef = left == -1
+    ok = (left_undef | (right == -1) | (left == right)).all(axis=1)
+    if not ok.all():
+        bl, br = bl[ok], br[ok]
+        left, right, left_undef = left[ok], right[ok], left_undef[ok]
+    conds = _np.where(left_undef, right, left)
+    data = _np.hstack([left_data[bl], right_data[br][:, rkeep]])
+    return data, conds
+
+
+def _stack_parts(data_parts, cond_parts):
+    if len(data_parts) == 1:
+        return data_parts[0], cond_parts[0]
+    return _np.vstack(data_parts), _np.vstack(cond_parts)
+
+
+def _indexed_pairs_shard(
+    left_conds, right_conds, left_data, right_data, rkeep, li, ri, block
+):
+    """One contiguous shard of an indexed pair merge (join candidates).
+
+    Runs the bounded block loop over its slice of the pair index arrays;
+    an empty slice still produces correctly-shaped empty outputs.
+    """
+    data_parts, cond_parts = [], []
+    for start in range(0, max(int(li.shape[0]), 1), block):
+        data, conds = _merge_pair_block(
+            left_conds,
+            right_conds,
+            left_data,
+            right_data,
+            rkeep,
+            li[start : start + block],
+            ri[start : start + block],
+        )
+        data_parts.append(data)
+        cond_parts.append(conds)
+    return _stack_parts(data_parts, cond_parts)
+
+
+def _all_pairs_shard(
+    left_conds, right_conds, left_data, right_data, rkeep, row_start, row_stop, n_right, block
+):
+    """One contiguous left-row range of an all-pairs (product) merge.
+
+    Generates its own repeat/tile pair indices per bounded sub-block, so
+    the O(rows × n_right) index arrays never materialize at once — and
+    never cross a process boundary at all.  Each sub-block's pairs then
+    run through the same ``block``-bounded gather loop as the indexed
+    path: when ``n_right`` alone exceeds the pair budget (one left row's
+    pairs outgrow a block), the inner loop re-cuts them, keeping the
+    gathered matrices under the ~128MB transient cap regardless of
+    operand shape.
+    """
+    rows_per_block = max(1, block // max(n_right, 1))
+    data_parts, cond_parts = [], []
+    start = row_start
+    while True:
+        stop = min(start + rows_per_block, row_stop)
+        li = _np.repeat(_np.arange(start, stop), n_right)
+        ri = _np.tile(_np.arange(n_right), max(stop - start, 0))
+        data, conds = _indexed_pairs_shard(
+            left_conds, right_conds, left_data, right_data, rkeep, li, ri, block
+        )
+        data_parts.append(data)
+        cond_parts.append(conds)
+        start = stop
+        if start >= row_stop:
+            break
+    return _stack_parts(data_parts, cond_parts)
 
 
 def _row_order(matrix):

@@ -90,9 +90,12 @@ class UEvaluator:
     "enumeration"); ``rng`` seeds all approximate operators; ``backend``
     selects the relational-operator engine (``"numpy"`` columnar /
     ``"python"`` scalar; ``None``/``"auto"`` picks numpy when
-    importable).  When ``copy_db`` is true the input database (including
-    W) is left untouched and repair-key variables go into a private
-    copy.
+    importable); ``executor`` (a
+    :class:`~repro.util.parallel.ShardExecutor`) fans columnar
+    product/join pair merges out over worker processes, bit-identically
+    to the serial path.  When ``copy_db`` is true the input database
+    (including W) is left untouched and repair-key variables go into a
+    private copy.
     """
 
     def __init__(
@@ -102,20 +105,28 @@ class UEvaluator:
         rng: random.Random | int | None = None,
         copy_db: bool = True,
         backend: str | None = None,
+        executor=None,
     ):
         self.db = db.copy() if copy_db else db
         self.conf_method = conf_method
         self.rng = ensure_rng(rng)
         self.conf_log: list = []
         self.backend = resolve_backend(backend)
+        # The session's ShardExecutor (or None): columnar product/join
+        # pair merges fan out over it.  Results are bit-identical with
+        # and without one — the shard plan is a function of row counts
+        # only and the merge kernels are shared with the serial path.
+        self.executor = executor
         self._pool = self.db.condition_pool
         if self.backend == "numpy":
             # One coding context per database family (shared through
             # UDatabase.copy, like the pool), so per-relation encoding
             # memos hit across session and scratch evaluators alike.
-            if self.db.columnar_context is None:
-                self.db.columnar_context = ColumnarContext(self.db.w, self._pool)
-            self._ctx = self.db.columnar_context
+            # Attached under the database lock: evaluators on different
+            # threads must agree on one context.
+            self._ctx = self.db.ensure_columnar_context(
+                lambda: ColumnarContext(self.db.w, self._pool)
+            )
         else:
             self._ctx = None
 
@@ -223,7 +234,7 @@ class UEvaluator:
             right, rc = self._eval_rep(query.right)
             pair = self._lift_pair(left, right)
             if pair is not None:
-                return pair[0].product(pair[1]), lc and rc
+                return pair[0].product(pair[1], executor=self.executor), lc and rc
             left, right = self._materialize(left), self._materialize(right)
             return left.product(right, pool=self._pool), lc and rc
 
@@ -232,7 +243,7 @@ class UEvaluator:
             right, rc = self._eval_rep(query.right)
             pair = self._lift_pair(left, right)
             if pair is not None:
-                return pair[0].natural_join(pair[1]), lc and rc
+                return pair[0].natural_join(pair[1], executor=self.executor), lc and rc
             left, right = self._materialize(left), self._materialize(right)
             return left.natural_join(right, pool=self._pool), lc and rc
 

@@ -114,6 +114,21 @@ class UDatabase:
             else:
                 self.complete.discard(name)
 
+    def ensure_columnar_context(self, factory):
+        """Attach (or return) the database's columnar coding context, atomically.
+
+        Evaluators previously did a check-then-act on
+        ``columnar_context`` directly; two evaluators racing on a shared
+        database from different threads could then each attach a private
+        context and thrash the per-relation encoding memos.  ``factory``
+        is only invoked under the database lock, by the one caller that
+        wins the race.
+        """
+        with self._lock:
+            if self.columnar_context is None:
+                self.columnar_context = factory()
+            return self.columnar_context
+
     def copy(self) -> "UDatabase":
         """Independent copy for non-destructive evaluation — *fully* private.
 

@@ -37,6 +37,7 @@ pairs stop re-hashing frozensets.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -54,6 +55,23 @@ _SHARED_POOL = ConditionPool()
 
 The evaluator threads each database's own pool through the operators;
 direct method calls (tests, ad-hoc scripts) share this bounded one.
+"""
+
+_CACHE_LOCK = threading.Lock()
+"""One lock for every relation's lazy-cache *builds* (reads stay lock-free).
+
+The lazy caches below are idempotent — two racing builders compute equal
+values and the last ``object.__setattr__`` wins — which is benign under
+the GIL but was only an *assumption* on free-threaded CPython (where,
+e.g., two threads interleaving ``_join_index``'s read-then-insert on the
+shared ``indexes`` dict could drop one key's entry).  A single module
+lock makes the assumption explicit and cheap: it is taken only on a
+cache miss (once per relation per cache kind), every builder re-checks
+under the lock, and the hit path — a plain attribute read of an already
+published, never-mutated object — needs no lock at all.  Per-relation
+locks would buy nothing: builds are rare and short, and a relation
+cannot lazily grow its own lock without exactly this kind of global
+guard.
 """
 
 
@@ -126,8 +144,11 @@ class URelation:
         """
         cached = self.__dict__.get("_is_certain")
         if cached is None:
-            cached = all(cond.is_empty for cond, _ in self.rows)
-            object.__setattr__(self, "_is_certain", cached)
+            with _CACHE_LOCK:
+                cached = self.__dict__.get("_is_certain")
+                if cached is None:
+                    cached = all(cond.is_empty for cond, _ in self.rows)
+                    object.__setattr__(self, "_is_certain", cached)
         return cached
 
     def to_complete(self) -> Relation:
@@ -147,10 +168,13 @@ class URelation:
         """Lazy cached index: data tuple → conditions it appears under."""
         index = self.__dict__.get("_conds_by_tuple")
         if index is None:
-            index = {}
-            for cond, vals in self.rows:
-                index.setdefault(vals, []).append(cond)
-            object.__setattr__(self, "_conds_by_tuple", index)
+            with _CACHE_LOCK:
+                index = self.__dict__.get("_conds_by_tuple")
+                if index is None:
+                    index = {}
+                    for cond, vals in self.rows:
+                        index.setdefault(vals, []).append(cond)
+                    object.__setattr__(self, "_conds_by_tuple", index)
         return index
 
     def conditions_of(self, row: Sequence[Value]) -> list[Condition]:
@@ -168,11 +192,14 @@ class URelation:
         """All random variables mentioned by any condition (cached)."""
         cached = self.__dict__.get("_variables")
         if cached is None:
-            out: set = set()
-            for cond, _ in self.rows:
-                out |= cond.variables
-            cached = frozenset(out)
-            object.__setattr__(self, "_variables", cached)
+            with _CACHE_LOCK:
+                cached = self.__dict__.get("_variables")
+                if cached is None:
+                    out: set = set()
+                    for cond, _ in self.rows:
+                        out |= cond.variables
+                    cached = frozenset(out)
+                    object.__setattr__(self, "_variables", cached)
         return cached
 
     def variables_exceed(self, limit: int) -> bool:
@@ -192,7 +219,9 @@ class URelation:
             out |= cond.variables
             if len(out) > limit:
                 return True
-        object.__setattr__(self, "_variables", frozenset(out))
+        with _CACHE_LOCK:
+            if "_variables" not in self.__dict__:
+                object.__setattr__(self, "_variables", frozenset(out))
         return False
 
     def in_world(self, world: Mapping) -> Relation:
@@ -209,15 +238,23 @@ class URelation:
         the same key columns reuse the index for free.
         """
         indexes = self.__dict__.get("_join_indexes")
-        if indexes is None:
-            indexes = {}
-            object.__setattr__(self, "_join_indexes", indexes)
-        index = indexes.get(positions)
-        if index is None:
-            index = {}
-            for cond, vals in self.rows:
-                index.setdefault(tuple(vals[i] for i in positions), []).append((cond, vals))
-            indexes[positions] = index
+        if indexes is not None:
+            index = indexes.get(positions)
+            if index is not None:
+                return index
+        with _CACHE_LOCK:
+            indexes = self.__dict__.get("_join_indexes")
+            if indexes is None:
+                indexes = {}
+                object.__setattr__(self, "_join_indexes", indexes)
+            index = indexes.get(positions)
+            if index is None:
+                index = {}
+                for cond, vals in self.rows:
+                    index.setdefault(tuple(vals[i] for i in positions), []).append(
+                        (cond, vals)
+                    )
+                indexes[positions] = index
         return index
 
     # ------------------------------------------------------------ translation

@@ -140,6 +140,21 @@ class TestShardExecutor:
             with pytest.raises(ZeroDivisionError):
                 ex.map(_reciprocal, [(1,), (0,)])
 
+    def test_unvalidated_unpicklable_tasks_fall_back_to_serial(self):
+        """``validate=False`` skips the pickle dry run; a task that then
+        fails to pickle surfaces at result-collection time and must
+        still fall back to the serial path (and retire the pool, whose
+        manager thread cannot be trusted after a failed work-item
+        pickle)."""
+        executor = ShardExecutor(2)
+        locks = [threading.Lock(), threading.Lock()]  # unpicklable args
+        results = executor.map(_first_arg, [(lock,) for lock in locks], validate=False)
+        assert results == locks
+        # The executor degraded to serial for good, but keeps answering.
+        assert not executor.parallel
+        assert executor.map(_first_arg, [(1,), (2,)], validate=False) == [1, 2]
+        executor.close()
+
     def test_unpicklable_tasks_fall_back_to_serial(self):
         # A lock cannot cross a process boundary; the map must quietly
         # run the (bit-identical) serial path instead of raising.
@@ -162,6 +177,10 @@ def _reciprocal(x):
 
 def _type_name(x):
     return type(x).__name__
+
+
+def _first_arg(x):
+    return x
 
 
 # ------------------------------------------------------- determinism matrix
@@ -396,6 +415,114 @@ class TestThreadSafety:
         stats = session.cache_stats
         assert stats["entries"] <= 8
         assert len(session._cache) == stats["entries"]
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not available")
+    def test_value_codec_concurrent_assignment_stays_bijective(self):
+        """Eight threads racing ValueCodec.code on overlapping unseen
+        values: the miss path is NOT idempotent (two racers would hand
+        two values one code), so it runs under the codec lock — every
+        value must get exactly one code and decode back to itself."""
+        from repro.urel.columnar import ValueCodec
+
+        codec = ValueCodec()
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(400):
+                    value = f"v{(i * 7 + tid * 13) % 500}"
+                    code = codec.code(value)
+                    assert codec.values[code] == value
+            except BaseException as exc:  # noqa: BLE001 - collected for the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert len(codec.values) == len(codec.index) == len(set(codec.values))
+        assert all(codec.index[v] == c for c, v in enumerate(codec.values))
+
+    def test_urelation_lazy_cache_soak(self):
+        """Eight threads hammer one shared relation's lazy caches.
+
+        ``conditions_of`` (tuple index), ``natural_join`` on two
+        different key sets (join indexes), ``variables()`` /
+        ``variables_exceed`` and ``is_certain`` all build their caches
+        lazily.  The idempotent-write assumption those builds used to
+        lean on (benign last-write-wins under the GIL) is now an
+        explicit lock (``repro.urel.urelation._CACHE_LOCK``), so this
+        soak must hold on free-threaded builds too — CPython 3.13t can
+        verify with ``sys._is_gil_enabled()`` returning False.
+        """
+        rng = random.Random(42)
+        w = VariableTable()
+        for i in range(6):
+            w.add(("z", i), {0: Fraction(1, 2), 1: Fraction(1, 2)})
+
+        def build_rows():
+            local = random.Random(7)
+            rows = []
+            for i in range(120):
+                cond = Condition(
+                    {("z", local.randrange(6)): local.randint(0, 1) for _ in range(2)}
+                )
+                rows.append((cond, (i % 10, i % 7)))
+            return rows
+
+        shared = URelation.from_rows(("A", "B"), build_rows())
+        probe_a = URelation.from_rows(
+            ("A", "C"), [(Condition({}), (rng.randrange(10), k)) for k in range(8)]
+        )
+        probe_b = URelation.from_rows(
+            ("B", "C"), [(Condition({}), (rng.randrange(7), k)) for k in range(8)]
+        )
+        # Reference answers from a fresh, never-shared twin.
+        reference = URelation.from_rows(("A", "B"), build_rows())
+        expected = {
+            "conds": {
+                row: sorted(map(repr, reference.conditions_of(row)))
+                for row in reference.possible_tuples().rows
+            },
+            "variables": reference.variables(),
+            "join_a": reference.natural_join(probe_a),
+            "join_b": reference.natural_join(probe_b),
+        }
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(15):
+                    got = {
+                        row: sorted(map(repr, shared.conditions_of(row)))
+                        for row in shared.possible_tuples().rows
+                    }
+                    assert got == expected["conds"]
+                    assert shared.variables() == expected["variables"]
+                    assert shared.variables_exceed(3)
+                    assert not shared.variables_exceed(6)
+                    assert not shared.is_certain
+                    assert shared.natural_join(probe_a) == expected["join_a"]
+                    assert shared.natural_join(probe_b) == expected["join_b"]
+            except BaseException as exc:  # noqa: BLE001 - collected for the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        # The published caches are single objects — every later reader
+        # sees the same index, not a per-thread rebuild.
+        assert shared._tuple_index() is shared._tuple_index()
+        assert shared.variables() is shared.variables()
 
     def test_concurrent_repair_keys_extend_w_atomically(self):
         """Racing repair-key assignments must leave W consistent: every
