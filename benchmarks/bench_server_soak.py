@@ -1,0 +1,204 @@
+"""E20 — serving-layer soak: many sessions, one pool, bit-identical answers.
+
+PR 6 added :mod:`repro.server`: an async front end multiplexing many
+tenants' sessions over one shared :class:`ShardExecutor` and one global
+cache byte budget, with fair-share scheduling between tenants.  Its
+headline contract is that *none of that machinery shows up in the
+answers*: scheduling order, cache eviction pressure, and worker count
+change latency only.
+
+Acceptance assertion (never skipped): **120 concurrent sessions** of
+mixed query shapes — exact posteriors, batched ``confidence_all``,
+sampled ``aconf``, the Theorem 6.7 driver — across 8 tenants on a
+2-worker pool with a deliberately tight cache budget, produce
+**bit-identical** transcripts to the same 120 sessions run fresh and
+serially.  The run must also have actually exercised the machinery:
+global evictions > 0 and true concurrency observed.
+
+Tracked benchmark: one soak round's wall clock, with client-observed
+request latency percentiles attached as ``tracked_p50_latency_s`` /
+``tracked_p99_latency_s`` — ``track.py`` lifts ``tracked_*`` extra_info
+into synthetic baseline entries, so p99 latency regressions gate CI
+exactly like mean-time regressions.  (Throughput rides along as plain
+extra_info: the gate fires on growth, the wrong direction for a
+higher-is-better number.)
+
+Smoke mode for CI:
+
+    python benchmarks/bench_server_soak.py --quick
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+from repro.generators.coins import coin_database
+from repro.server import Client, serve
+
+# Self-contained shapes (no session assignments): Example 2.2 inlined.
+R_QUERY = "project[CoinType](repair-key[@ Count](Coins))"
+S_QUERY = (
+    "project[CoinType, Toss, Face](repair-key[CoinType, Toss @ FProb]"
+    "(product(Faces, literal[Toss]{(1), (2)})))"
+)
+T_QUERY = (
+    f"join({R_QUERY}, project[CoinType](select[Toss = 1 and Face = 'H']({S_QUERY})), "
+    f"project[CoinType](select[Toss = 2 and Face = 'H']({S_QUERY})))"
+)
+POSTERIOR = (
+    f"project[CoinType, P1 / P2 -> P]"
+    f"(join(conf[P1]({T_QUERY}), conf[P2](project[]({T_QUERY}))))"
+)
+ACONF_POSTERIOR = (
+    f"project[CoinType, P1 / P2 -> P]"
+    f"(join(aconf[0.2, 0.1, P1]({T_QUERY}), aconf[0.2, 0.1, P2](project[]({T_QUERY}))))"
+)
+ASELECT = f"aselect[P1 / P2 <= 0.5 ; conf(CoinType) as P1, conf() as P2]({T_QUERY})"
+
+SOAK_SESSIONS = 120
+SOAK_TENANTS = 8
+
+
+def session_ops(index: int) -> list[tuple[str, dict]]:
+    """The deterministic request sequence of soak session ``index``."""
+    shape = index % 4
+    if shape == 0:
+        return [("query", {"query": POSTERIOR}), ("query", {"query": POSTERIOR})]
+    if shape == 1:
+        return [("confidence_all", {"query": T_QUERY}), ("query", {"query": R_QUERY})]
+    if shape == 2:
+        return [("query", {"query": ACONF_POSTERIOR}), ("query", {"query": ACONF_POSTERIOR})]
+    return [
+        ("evaluate_with_guarantee", {"query": ASELECT, "delta": 0.1, "eps0": 0.05}),
+    ]
+
+
+async def _drive_session(client: Client, index: int, latencies: list[float]) -> list:
+    session = await client.open_session(seed=5000 + index)
+    transcript = []
+    for op, params in session_ops(index):
+        started = time.perf_counter()
+        transcript.append(
+            await client.call(op, session=session.session_id, params=params)
+        )
+        latencies.append(time.perf_counter() - started)
+    await session.close()
+    return transcript
+
+
+async def _soak(n_sessions: int, concurrent: bool) -> tuple[list, list[float], dict]:
+    """Run the soak; returns (transcripts, client latencies, server stats)."""
+    if concurrent:
+        server = serve(
+            coin_database(),
+            workers=2,
+            max_cache_bytes=120_000,  # well under n_sessions × working set
+            tenant_quota=2,
+            max_in_flight=4,
+        )
+    else:
+        server = serve(coin_database(), workers=1)
+    clients = [
+        Client(server, tenant=f"tenant{t}", wire=True) for t in range(SOAK_TENANTS)
+    ]
+    latencies: list[float] = []
+    if concurrent:
+        transcripts = await asyncio.gather(
+            *(
+                _drive_session(clients[i % SOAK_TENANTS], i, latencies)
+                for i in range(n_sessions)
+            )
+        )
+    else:
+        transcripts = [
+            await _drive_session(clients[i % SOAK_TENANTS], i, latencies)
+            for i in range(n_sessions)
+        ]
+    stats = await clients[0].stats()
+    await server.aclose()
+    return list(transcripts), latencies, stats
+
+
+def run_soak(n_sessions: int) -> dict:
+    """One concurrent soak round, summarized (used by benchmark + smoke)."""
+    started = time.perf_counter()
+    transcripts, latencies, stats = asyncio.run(_soak(n_sessions, concurrent=True))
+    elapsed = time.perf_counter() - started
+    return {
+        "transcripts": transcripts,
+        "latencies": latencies,
+        "stats": stats,
+        "elapsed": elapsed,
+        "requests": len(latencies),
+    }
+
+
+def run_serial(n_sessions: int) -> list:
+    """The reference transcripts: fresh sessions, one at a time, workers=1."""
+    transcripts, _latencies, _stats = asyncio.run(_soak(n_sessions, concurrent=False))
+    return transcripts
+
+
+def percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def _assert_soak(result: dict, reference: list, n_sessions: int) -> None:
+    for i, (got, want) in enumerate(zip(result["transcripts"], reference)):
+        assert got == want, f"session {i} diverged under concurrency"
+    stats = result["stats"]
+    assert stats["cache"]["evictions"] > 0, "cache budget never evicted"
+    assert stats["scheduler"]["peak_in_flight"] >= 2, "soak never ran concurrently"
+    assert stats["scheduler"]["rejected"] == 0, "soak traffic should queue, not reject"
+    assert stats["sessions"]["open"] == 0
+    assert len(result["transcripts"]) == n_sessions
+
+
+# ------------------------------------------------------------- acceptance
+def test_soak_120_sessions_bit_identical_vs_serial():
+    """≥100 concurrent sessions, answers bit-identical to serial replays."""
+    result = run_soak(SOAK_SESSIONS)
+    reference = run_serial(SOAK_SESSIONS)
+    _assert_soak(result, reference, SOAK_SESSIONS)
+
+
+# ------------------------------------------------------------- tracked timings
+def test_benchmark_server_soak(benchmark):
+    """Wall clock of a 24-session soak round; latency percentiles tracked."""
+    result = benchmark(run_soak, 24)
+    benchmark.extra_info["sessions"] = 24
+    benchmark.extra_info["requests"] = result["requests"]
+    benchmark.extra_info["tracked_p50_latency_s"] = percentile(result["latencies"], 0.50)
+    benchmark.extra_info["tracked_p99_latency_s"] = percentile(result["latencies"], 0.99)
+    # Throughput is informational only: `compare` gates on *growth*, which
+    # is the wrong direction for a higher-is-better metric.
+    benchmark.extra_info["throughput_rps"] = result["requests"] / result["elapsed"]
+
+
+def main(argv: list[str]) -> int:
+    """Smoke mode for CI: a small soak, verified against serial, with numbers."""
+    quick = "--quick" in argv
+    n_sessions = 24 if quick else SOAK_SESSIONS
+    result = run_soak(n_sessions)
+    reference = run_serial(n_sessions)
+    _assert_soak(result, reference, n_sessions)
+    p50 = percentile(result["latencies"], 0.50)
+    p99 = percentile(result["latencies"], 0.99)
+    rps = result["requests"] / result["elapsed"]
+    stats = result["stats"]
+    print(
+        f"E20 smoke ok: {n_sessions} sessions, {result['requests']} requests "
+        f"bit-identical to serial | p50 {p50 * 1e3:.1f}ms p99 {p99 * 1e3:.1f}ms "
+        f"{rps:.0f} req/s | evictions {stats['cache']['evictions']} "
+        f"peak_in_flight {stats['scheduler']['peak_in_flight']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -104,6 +104,17 @@ def _snapshot(raw: dict, quick: bool) -> dict:
             "stddev": stats["stddev"],
             "rounds": stats["rounds"],
         }
+        # Benchmarks may attach scalar metrics beyond wall clock (latency
+        # percentiles, throughput) as `tracked_<name>` extra_info keys;
+        # each becomes a synthetic entry so `compare` gates it with the
+        # same threshold machinery as a timing.
+        for key, value in (bench.get("extra_info") or {}).items():
+            if key.startswith("tracked_") and isinstance(value, (int, float)):
+                benchmarks[f"{bench['fullname']}::{key}"] = {
+                    "mean": float(value),
+                    "stddev": 0.0,
+                    "rounds": stats["rounds"],
+                }
     return {
         "schema": 1,
         "sha": _git_sha(),

@@ -36,6 +36,7 @@ from repro.engine import (
     resolve_strategy,
     strategy_names,
 )
+from repro.server import Client, Server, SessionHandle, serve
 from repro.urel.udatabase import UDatabase
 from repro.urel.urelation import URelation
 from repro.urel.variables import VariableTable
@@ -75,4 +76,9 @@ __all__ = [
     # Section 6 driver
     "evaluate_with_guarantee",
     "DriverReport",
+    # serving layer
+    "serve",
+    "Server",
+    "Client",
+    "SessionHandle",
 ]

@@ -19,18 +19,50 @@ same notion of plan equivalence the round-trip tests use) plus the
 ``op_id`` sequence of repair-key nodes — two structurally identical
 repair-keys with different ``op_id`` introduce *different* random
 variables and must not share an entry.
+
+Entries also carry an **approximate byte size** (:func:`approx_size`),
+surfaced as ``CacheStats.approx_bytes`` and through
+``ProbDB.cache_stats``.  That is the accounting hook the serving
+layer's global cache budget (:mod:`repro.server.budget`) needs: a
+server multiplexing many sessions registers each session's cache with
+one :class:`~repro.server.budget.CacheBudget` and evicts *across* the
+caches, globally least-recently-used first, until the summed
+``approx_bytes`` fits the budget.  Recency is therefore tracked on a
+process-wide clock (:func:`_next_tick`), not per cache.
+
+**Volatile entries.**  ``put(..., volatile=True)`` marks an entry whose
+recomputation would consume session RNG state (a sampled confidence, or
+a query evaluation that drew trials).  A cross-session evictor must
+leave those in place: evicting one would make the next identical
+request redraw from a *later* stream position, so the session's answers
+would start depending on other tenants' cache pressure — breaking the
+serving layer's determinism contract.  Volatile entries still count
+toward ``approx_bytes`` and still participate in the session-local
+``maxsize`` LRU (which replays identically in any serial rerun of the
+same session, so it is deterministic by construction).
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
+import sys
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 
 from repro.algebra.operators import Query, RepairKey, walk
 from repro.algebra.printer import unparse_query
 
-__all__ = ["query_fingerprint", "MemoCache", "CacheStats"]
+__all__ = ["query_fingerprint", "MemoCache", "CacheStats", "approx_size"]
+
+# One process-wide recency clock: entries across *all* caches are
+# comparable by tick, which is what global (cross-session) LRU eviction
+# orders by.  ``itertools.count`` advances atomically under the GIL.
+_RECENCY = itertools.count(1)
+
+
+def _next_tick() -> int:
+    return next(_RECENCY)
 
 
 def query_fingerprint(node: Query) -> str:
@@ -46,25 +78,116 @@ def query_fingerprint(node: Query) -> str:
     return hashlib.sha256(f"{text}|rk:{op_ids}".encode()).hexdigest()
 
 
-class CacheStats:
-    """Hit/miss counters, exposed through ``ProbDB.cache_stats``."""
+_ATOMIC = (str, bytes, bytearray, int, float, complex, bool, type(None))
 
-    __slots__ = ("hits", "misses", "entries")
+_SIZE_NODE_CAP = 4096
+"""Traversal cap per :func:`approx_size` call.
+
+Estimation runs on the caller's put path, so it must stay cheap even
+for pathological values; past the cap the estimate is a documented
+*under*count (still monotone enough for budget eviction, which only
+needs relative magnitudes)."""
+
+
+def approx_size(obj, max_nodes: int = _SIZE_NODE_CAP) -> int:
+    """Approximate deep size of ``obj`` in bytes.
+
+    A best-effort recursive ``sys.getsizeof`` walk: containers and
+    object ``__dict__``/``__slots__`` attributes are followed, shared
+    subobjects are counted once *per call* (id-memoized), and traversal
+    stops after ``max_nodes`` objects.  NumPy arrays report their
+    buffer through ``getsizeof`` already.  The result is an estimate —
+    interned conditions shared between entries are charged to each
+    entry — which is exactly what a fairness-oriented budget wants:
+    every entry pays for what it keeps alive.
+    """
+    seen: set[int] = set()
+    stack = [obj]
+    total = 0
+    budget = max_nodes
+    while stack:
+        o = stack.pop()
+        oid = id(o)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        budget -= 1
+        if budget < 0:
+            break
+        try:
+            total += sys.getsizeof(o)
+        except TypeError:  # pragma: no cover - exotic getsizeof overrides
+            total += 64
+        if isinstance(o, _ATOMIC):
+            continue
+        if isinstance(o, dict):
+            stack.extend(o.keys())
+            stack.extend(o.values())
+            continue
+        if isinstance(o, (list, tuple, set, frozenset, deque)):
+            stack.extend(o)
+            continue
+        if isinstance(o, type) or callable(o):
+            continue
+        d = getattr(o, "__dict__", None)
+        if d is not None:
+            stack.append(d)
+        for klass in type(o).__mro__:
+            slots = klass.__dict__.get("__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for name in slots:
+                try:
+                    stack.append(getattr(o, name))
+                except AttributeError:
+                    pass
+    return total
+
+
+class CacheStats:
+    """Hit/miss/size counters, exposed through ``ProbDB.cache_stats``.
+
+    ``approx_bytes`` is the summed :func:`approx_size` of the live
+    entries (keys and values) — the observability hook the global
+    cache-budget evictor consumes, useful standalone for sizing
+    ``maxsize`` against real workloads.
+    """
+
+    __slots__ = ("hits", "misses", "entries", "approx_bytes")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.entries = 0
+        self.approx_bytes = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": self.entries}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "approx_bytes": self.approx_bytes,
+        }
 
     def __repr__(self) -> str:
-        return f"CacheStats(hits={self.hits}, misses={self.misses}, entries={self.entries})"
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"entries={self.entries}, approx_bytes={self.approx_bytes})"
+        )
+
+
+class _Entry:
+    __slots__ = ("value", "nbytes", "tick", "volatile")
+
+    def __init__(self, value, nbytes: int, tick: int, volatile: bool):
+        self.value = value
+        self.nbytes = nbytes
+        self.tick = tick
+        self.volatile = volatile
 
 
 class MemoCache:
-    """A bounded mapping with hit/miss accounting (LRU eviction).
+    """A bounded mapping with hit/miss and byte accounting (LRU eviction).
 
     A hit refreshes the entry's recency, so a hot confidence entry (the
     posterior a dashboard asks for every few seconds) survives arbitrary
@@ -76,6 +199,14 @@ class MemoCache:
     and an unsynchronized ``move_to_end``/``popitem`` pair can corrupt
     the underlying ordered dict mid-eviction.  The lock covers the stats
     counters too, so hit/miss accounting stays consistent.
+
+    Every entry carries its approximate byte size and a process-wide
+    recency tick; :meth:`lru_tick`/:meth:`evict_lru` are the primitives
+    a :class:`~repro.server.budget.CacheBudget` uses to evict globally
+    LRU across many sessions' caches.  A budget attached with
+    :meth:`set_budget` is poked (outside the cache lock — the budget
+    takes its own lock and calls back into caches, so ordering is
+    always budget → cache) after every insertion that grows the cache.
     """
 
     def __init__(self, maxsize: int | None = 1024):
@@ -83,38 +214,89 @@ class MemoCache:
         self._data: OrderedDict = OrderedDict()
         self.stats = CacheStats()
         self._lock = threading.Lock()
+        self._budget = None
 
     @property
     def enabled(self) -> bool:
         return self.maxsize is None or self.maxsize > 0
 
+    @property
+    def approx_bytes(self) -> int:
+        """Summed approximate size of the live entries, in bytes."""
+        with self._lock:
+            return self.stats.approx_bytes
+
+    def set_budget(self, budget) -> None:
+        """Attach/detach the global budget poked after growing puts."""
+        self._budget = budget
+
     def get(self, key):
         """The cached value, or ``None`` (misses are counted)."""
         with self._lock:
             try:
-                value = self._data[key]
+                entry = self._data[key]
             except KeyError:
                 self.stats.misses += 1
                 return None
             self._data.move_to_end(key)
+            entry.tick = _next_tick()
             self.stats.hits += 1
-            return value
+            return entry.value
 
-    def put(self, key, value) -> None:
+    def put(self, key, value, volatile: bool = False) -> None:
+        """Insert ``key -> value``; ``volatile`` pins it against *global*
+        eviction (see the module docstring — recomputing it would draw
+        from the session RNG)."""
         if self.maxsize is not None and self.maxsize <= 0:
             return
+        # Size estimation walks the value graph; do it outside the lock.
+        nbytes = approx_size(key) + approx_size(value)
         with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
+            old = self._data.pop(key, None)
+            if old is not None:
+                self.stats.approx_bytes -= old.nbytes
             elif self.maxsize is not None and len(self._data) >= self.maxsize:
-                self._data.popitem(last=False)
-            self._data[key] = value
+                _, evicted = self._data.popitem(last=False)
+                self.stats.approx_bytes -= evicted.nbytes
+            self._data[key] = _Entry(value, nbytes, _next_tick(), volatile)
+            self.stats.approx_bytes += nbytes
             self.stats.entries = len(self._data)
+        budget = self._budget
+        if budget is not None:
+            budget.rebalance()
+
+    def lru_tick(self) -> int | None:
+        """Recency tick of the least-recent *evictable* entry, or ``None``.
+
+        Volatile entries are skipped: the global evictor compares this
+        across caches to find the globally least-recently-used entry.
+        """
+        with self._lock:
+            for entry in self._data.values():
+                if not entry.volatile:
+                    return entry.tick
+            return None
+
+    def evict_lru(self) -> int:
+        """Evict the least-recent non-volatile entry; bytes freed (0 = none)."""
+        with self._lock:
+            victim = None
+            for key, entry in self._data.items():
+                if not entry.volatile:
+                    victim = key
+                    break
+            if victim is None:
+                return 0
+            entry = self._data.pop(victim)
+            self.stats.approx_bytes -= entry.nbytes
+            self.stats.entries = len(self._data)
+            return entry.nbytes
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
             self.stats.entries = 0
+            self.stats.approx_bytes = 0
 
     def __len__(self) -> int:
         with self._lock:

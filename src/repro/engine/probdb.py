@@ -24,6 +24,7 @@ in a session are free.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from collections.abc import Mapping, Sequence
 
@@ -50,6 +51,19 @@ from repro.util.parallel import ShardExecutor, default_workers
 from repro.util.rng import ensure_rng, spawn_rng
 
 __all__ = ["ProbDB", "connect"]
+
+# Concrete confidence methods whose recomputation is a pure function of
+# the DNF — no trial drawn, no session entropy spent.  Entries produced
+# by them are safe for a *cross-session* budget evictor to drop: a later
+# identical request recomputes bit-identically without shifting the
+# session's sampled stream.  Everything else (sampling methods, even on
+# degenerate DNFs their batch machinery seeds shards; third-party
+# methods we cannot vouch for) is pinned as volatile.
+_RECOMPUTE_PURE_METHODS = frozenset({"exact-decomposition", "exact-enumeration"})
+
+
+def _report_volatile(report: ConfidenceReport) -> bool:
+    return not (report.exact and report.method in _RECOMPUTE_PURE_METHODS)
 
 
 def connect(
@@ -166,6 +180,12 @@ class ProbDB:
             self.executor = ShardExecutor(workers) if workers is not None else None
             self._owns_executor = self.executor is not None
         self._cache = MemoCache(cache_size)
+        # close() must be idempotent and safe to race from many threads
+        # (an async server closes sessions while sibling requests are in
+        # flight); the flag records intent, the lock makes first-close
+        # win exactly once.
+        self._close_lock = threading.Lock()
+        self._closed = False
         # Parsed query texts are cached so a repeated string is the *same*
         # plan (same repair-key op_ids → same random variables, and memo
         # cache keys that can actually repeat).
@@ -230,6 +250,13 @@ class ProbDB:
                 ("query", fingerprint, token, self.db.version, self.db.w.version)
             )
             if cached is None:
+                # A query whose evaluation *drew* from the session RNG
+                # (a sampled conf operator missing the conf cache) is
+                # volatile: recomputing it after a cross-session budget
+                # eviction would redraw from a later stream position, so
+                # the global evictor must leave it alone.  Comparing RNG
+                # state before/after captures exactly "did this draw".
+                rng_before = self._rng.getstate()
                 cached = self._evaluator.eval(node)
                 # Key on the *post*-evaluation versions: a repair-key query
                 # extends W on its first run but is idempotent afterwards
@@ -238,6 +265,7 @@ class ProbDB:
                 self._cache.put(
                     ("query", fingerprint, token, self.db.version, self.db.w.version),
                     cached,
+                    volatile=self._rng.getstate() != rng_before,
                 )
         else:
             cached = self._evaluator.eval(node)
@@ -361,7 +389,11 @@ class ProbDB:
         report = self._cache.get(key)
         if report is None:
             report = compute_with_executor(strategy, dnf, self._rng, self.executor)
-            self._cache.put(key, report)
+            # Sampled reports are volatile: a recompute would consume
+            # session RNG state, so the cross-session budget evictor
+            # must not remove them (exact reports recompute identically
+            # and draw nothing — freely evictable).
+            self._cache.put(key, report, volatile=_report_volatile(report))
         return report
 
     def _compute_confidence_batch(
@@ -395,7 +427,7 @@ class ProbDB:
             )
             by_key = dict(zip(misses, fresh))
             for key, report in by_key.items():
-                self._cache.put(key, report)
+                self._cache.put(key, report, volatile=_report_volatile(report))
             for i, dnf in enumerate(dnfs):
                 if reports[i] is None:
                     reports[i] = by_key[self._conf_cache_key(dnf, strategy)]
@@ -485,6 +517,11 @@ class ProbDB:
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the session still answers queries)."""
+        return self._closed
+
     def close(self) -> None:
         """Release the session's worker pool (if any).
 
@@ -492,14 +529,35 @@ class ProbDB:
         the sharded columnar algebra — so this tears down one pool, once.
         A *borrowed* executor (a ``ShardExecutor`` instance passed to
         ``connect``, possibly shared with other sessions) is left
-        running: its creator owns the lifecycle.  The session stays
-        usable either way — sharded workloads simply run their
-        (identical) serial path after the pool is gone.  Garbage
-        collection also reclaims owned pools, so calling this is a
-        courtesy, not a duty.
+        running: its creator owns the lifecycle — which is also what
+        makes close *safe under concurrency*: a server can close one
+        session while sibling sessions sharing the borrowed pool have
+        requests in flight, and those requests keep their parallelism.
+        The session stays usable either way — sharded workloads simply
+        run their (identical) serial path after an owned pool is gone.
+
+        Idempotent and thread-safe: any number of racing ``close`` calls
+        (double-close, close-while-request-in-flight) tear the owned
+        pool down exactly once and never raise.  Garbage collection also
+        reclaims owned pools, so calling this is a courtesy, not a duty.
         """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self.executor is not None and self._owns_executor:
             self.executor.close()
+
+    async def aclose(self) -> None:
+        """Async-friendly :meth:`close` for event-loop callers.
+
+        A thin wrapper that runs the (potentially pool-joining) close in
+        a worker thread so the event loop never blocks on process
+        teardown; same idempotence and thread-safety guarantees.
+        """
+        import asyncio
+
+        await asyncio.to_thread(self.close)
 
     def __enter__(self) -> "ProbDB":
         return self

@@ -111,6 +111,15 @@ class ConfidenceStrategy:
 
     name: str = "?"
 
+    consumes_rng: bool = True
+    """Whether :meth:`compute`/:meth:`compute_batch` may draw from the
+    caller's generator.  Exact strategies set this ``False`` so a
+    sharded all-exact batch does not spend one ``getrandbits(64)`` of
+    session entropy on shard seeds its workers never use — which in turn
+    lets the serving layer's global cache budget evict exact entries
+    without shifting the session's sampled stream.  Third parties keep
+    the conservative default."""
+
     @property
     def cache_token(self) -> tuple:
         """Hashable identity of this strategy *configuration*.
@@ -178,7 +187,10 @@ class ConfidenceStrategy:
         shards = executor.plan_items(len(dnfs))
         if len(shards) <= 1:
             return None
-        base = rng.getrandbits(64)
+        # A strategy that never samples needs no shard entropy; a fixed
+        # base keeps the shard-seed derivation uniform without touching
+        # the session stream (the workers ignore their generators).
+        base = rng.getrandbits(64) if self.consumes_rng else 0
         results = executor.map(
             _strategy_shard_task,
             [
@@ -332,6 +344,7 @@ class ExactDecomposition(ConfidenceStrategy):
     """Shannon expansion with independence factoring (Theorem 3.4 oracle)."""
 
     name = "exact-decomposition"
+    consumes_rng = False
 
     def __init__(
         self,
@@ -351,6 +364,7 @@ class ExactEnumeration(ConfidenceStrategy):
     """Brute-force world enumeration — ground truth for small instances."""
 
     name = "exact-enumeration"
+    consumes_rng = False
 
     def __init__(
         self,

@@ -1,0 +1,44 @@
+"""Multi-session serving layer over the :class:`~repro.engine.probdb.ProbDB` engine.
+
+One :class:`Server` hosts many tenants' sessions over one shared shard
+pool and one global cache byte budget, behind a JSON-serializable
+protocol.  See :mod:`repro.server.service` for the architecture.
+"""
+
+from repro.server.budget import CacheBudget
+from repro.server.protocol import (
+    COMPUTE_OPS,
+    CONTROL_OPS,
+    PROTOCOL_VERSION,
+    AdmissionTimeoutError,
+    ProtocolError,
+    QueryError,
+    QuotaExceededError,
+    ServerClosedError,
+    ServerError,
+    SessionClosedError,
+    UnknownSessionError,
+)
+from repro.server.scheduler import FairShareScheduler, Job
+from repro.server.service import Client, Server, SessionHandle, serve
+
+__all__ = [
+    "serve",
+    "Server",
+    "Client",
+    "SessionHandle",
+    "FairShareScheduler",
+    "Job",
+    "CacheBudget",
+    "PROTOCOL_VERSION",
+    "CONTROL_OPS",
+    "COMPUTE_OPS",
+    "ServerError",
+    "ProtocolError",
+    "QuotaExceededError",
+    "AdmissionTimeoutError",
+    "UnknownSessionError",
+    "SessionClosedError",
+    "ServerClosedError",
+    "QueryError",
+]

@@ -1,0 +1,250 @@
+"""Fair-share admission and dispatch over one shared compute capacity.
+
+The serving layer multiplexes many tenants' sessions over one pool of
+compute slots (threads driving one shared
+:class:`~repro.util.parallel.ShardExecutor`).  This module is the pure
+scheduling core: no asyncio, no threads, no clocks — just the data
+structure deciding *which queued request runs next*.  The async service
+(:mod:`repro.server.service`) drives it from a single event loop, which
+is the concurrency discipline: every method here is called from one
+thread only, so the scheduler needs no locks and its decisions are a
+deterministic function of the call sequence.
+
+Policy, in one paragraph: each tenant owns a FIFO queue with a bounded
+depth (``max_queue`` — beyond it, admission *rejects* with
+``quota-exceeded``, the back-pressure signal).  Dispatch walks tenants
+round-robin, starting at most ``tenant_quota`` jobs per tenant and
+``max_in_flight`` jobs globally, and never runs two jobs of one
+*session* concurrently — per-session FIFO is what makes a session's
+answer stream independent of every other tenant (the determinism
+contract: concurrency changes wall-clock, never answers).  A tenant
+flooding its queue therefore delays only itself; a light tenant's next
+job is at most one round-robin lap away.
+
+Timeouts are the caller's: the service arms a timer per queued job and
+calls :meth:`FairShareScheduler.cancel` when it fires (the
+``admission-timeout`` error), so the core stays clock-free and
+unit-testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+
+__all__ = ["Job", "FairShareScheduler"]
+
+_JOB_IDS = itertools.count(1)
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+CANCELLED = "cancelled"
+
+
+class Job:
+    """One admitted compute request: identity, owner, and payload slot."""
+
+    __slots__ = ("job_id", "tenant", "session", "payload", "state")
+
+    def __init__(self, tenant: str, session: str, payload=None):
+        self.job_id = next(_JOB_IDS)
+        self.tenant = tenant
+        self.session = session
+        self.payload = payload
+        self.state = QUEUED
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(#{self.job_id}, tenant={self.tenant!r}, "
+            f"session={self.session!r}, {self.state})"
+        )
+
+
+class FairShareScheduler:
+    """Round-robin fair-share dispatch with per-tenant and global caps."""
+
+    def __init__(
+        self,
+        tenant_quota: int = 2,
+        max_in_flight: int = 8,
+        max_queue: int = 64,
+    ):
+        if tenant_quota < 1 or max_in_flight < 1:
+            raise ValueError("tenant_quota and max_in_flight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.tenant_quota = tenant_quota
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self._queues: dict[str, list[Job]] = {}
+        self._ring: deque[str] = deque()
+        self._running: dict[str, int] = {}
+        self._busy_sessions: set[str] = set()
+        self._in_flight = 0
+        self.submitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.peak_in_flight = 0
+
+    # --------------------------------------------------------------- intake
+    def submit(self, job: Job) -> bool:
+        """Admit ``job`` to its tenant's queue; ``False`` = rejected (full).
+
+        A rejection is immediate back-pressure: the queue already holds
+        ``max_queue`` requests for this tenant, so admitting more would
+        only grow latency unboundedly.  (``max_queue=0`` turns queueing
+        off entirely — beyond the concurrency quota, reject.)
+        """
+        self.submitted += 1
+        queue = self._queues.get(job.tenant)
+        if queue is None:
+            queue = self._queues[job.tenant] = []
+            self._ring.append(job.tenant)
+        if len(queue) >= self.max_queue and not self._could_run_now(job):
+            self.rejected += 1
+            return False
+        queue.append(job)
+        return True
+
+    def _could_run_now(self, job: Job) -> bool:
+        """Whether dispatch would start ``job`` immediately (queue empty path).
+
+        With ``max_queue=0`` a request must find a free slot at
+        admission time or be rejected; this is that probe.
+        """
+        return (
+            not self._queues.get(job.tenant)
+            and self._running.get(job.tenant, 0) < self.tenant_quota
+            and self._in_flight < self.max_in_flight
+            and job.session not in self._busy_sessions
+        )
+
+    # ------------------------------------------------------------- dispatch
+    def dispatch(self) -> list[Job]:
+        """Jobs to start *now*, marked running, in fair round-robin order.
+
+        Repeatedly laps the tenant ring; each lap starts at most one job
+        per tenant (the fairness grain), skipping tenants at quota and
+        jobs whose session is busy; stops when a full lap starts
+        nothing or the global cap is reached.
+        """
+        started: list[Job] = []
+        while self._in_flight < self.max_in_flight and self._ring:
+            progress = False
+            for _ in range(len(self._ring)):
+                if self._in_flight >= self.max_in_flight:
+                    break
+                tenant = self._ring[0]
+                self._ring.rotate(-1)
+                job = self._pop_eligible(tenant)
+                if job is not None:
+                    self._start(job)
+                    started.append(job)
+                    progress = True
+            if not progress:
+                break
+        self._prune_ring()
+        return started
+
+    def _pop_eligible(self, tenant: str) -> Job | None:
+        if self._running.get(tenant, 0) >= self.tenant_quota:
+            return None
+        queue = self._queues.get(tenant)
+        if not queue:
+            return None
+        for i, job in enumerate(queue):
+            # Per-session FIFO: a session's later jobs can never overtake
+            # an earlier one, because the earlier job is met first in
+            # queue order and either runs (making the session busy) or
+            # blocks here.
+            if job.session not in self._busy_sessions:
+                del queue[i]
+                return job
+        return None
+
+    def _start(self, job: Job) -> None:
+        job.state = RUNNING
+        self._running[job.tenant] = self._running.get(job.tenant, 0) + 1
+        self._busy_sessions.add(job.session)
+        self._in_flight += 1
+        self.dispatched += 1
+        self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+
+    def _prune_ring(self) -> None:
+        if any(not queue for queue in self._queues.values()):
+            drained = [t for t, queue in self._queues.items() if not queue]
+            for tenant in drained:
+                del self._queues[tenant]
+            keep = set(self._queues)
+            self._ring = deque(t for t in self._ring if t in keep)
+
+    # ------------------------------------------------------------- lifecycle
+    def complete(self, job: Job) -> None:
+        """Mark a running job finished, freeing its slots."""
+        if job.state != RUNNING:
+            return
+        job.state = DONE
+        self._running[job.tenant] -= 1
+        if self._running[job.tenant] <= 0:
+            del self._running[job.tenant]
+        self._busy_sessions.discard(job.session)
+        self._in_flight -= 1
+        self.completed += 1
+
+    def cancel(self, job: Job) -> bool:
+        """Remove a *queued* job (admission timeout, closed session).
+
+        ``False`` if the job already runs or finished — a running job is
+        past admission and will complete normally.
+        """
+        if job.state != QUEUED:
+            return False
+        queue = self._queues.get(job.tenant)
+        if queue is None or job not in queue:
+            return False
+        queue.remove(job)
+        job.state = CANCELLED
+        self.cancelled += 1
+        return True
+
+    def cancel_session(self, session: str) -> list[Job]:
+        """Cancel every queued job of ``session`` (its close raced them)."""
+        victims = [
+            job
+            for queue in self._queues.values()
+            for job in queue
+            if job.session == session
+        ]
+        return [job for job in victims if self.cancel(job)]
+
+    # ------------------------------------------------------------------ obs
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def stats(self) -> dict:
+        """Counters and live depths, JSON-shaped for the ``stats`` op."""
+        return {
+            "in_flight": self._in_flight,
+            "queued": self.queued,
+            "tenants": {
+                tenant: {
+                    "queued": len(self._queues.get(tenant, ())),
+                    "running": self._running.get(tenant, 0),
+                }
+                for tenant in set(self._queues) | set(self._running)
+            },
+            "submitted": self.submitted,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "peak_in_flight": self.peak_in_flight,
+        }

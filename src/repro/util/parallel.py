@@ -35,18 +35,36 @@ serially and produces the same bits.)  The plan parameters are part of
 the determinism contract: :attr:`ShardExecutor.plan_token` names them so
 memoization layers can key results on the merge schedule.
 
-Worker processes are forked (fork keeps the parent's hash seed, so
-pickled ``Condition`` hashes stay consistent across the pool); platforms
-without ``fork`` degrade to the serial path rather than risk divergent
-hashing under ``spawn``.  The pool is created lazily on the first
-genuinely parallel map and torn down by :meth:`close` or garbage
-collection, so sessions that never shard never pay for a pool.  One
-CPython caveat follows from fork: forking a process that already runs
-many threads can inherit locks held mid-operation.  A threaded server
-that shares a sharded session should run one sharded workload (forking
-the pool) *before* spawning its worker threads — or keep sharded
-sessions per-thread; moving to ``forkserver`` with an explicit hash-seed
-handoff is tracked in the ROADMAP.
+**Start method.**  Worker processes need the *parent's* hash seed:
+shard kernels iterate sets whose order is hash-dependent (Shannon
+expansion sums, clause walks), so a worker hashing differently from the
+serial in-process path could emit different float-accumulation bits and
+break the contract.  :func:`pool_start_method` picks the safest start
+method that preserves seed agreement:
+
+* ``forkserver`` — used whenever ``PYTHONHASHSEED`` is pinned in the
+  environment (any integer value).  The forkserver process inherits the
+  environment, so it and every worker it forks initialize with the
+  *same, known* hash seed as the parent — the explicit hash-seed
+  handoff.  Forkserver launches by fork+exec, which is safe in a
+  process that already runs threads: this is the start method for
+  async/threaded servers (:mod:`repro.server` prestarts the pool), and
+  it removes the old "run one sharded workload before spawning
+  threads" ordering rule entirely.
+* ``fork`` — the fallback when the parent's hash seed is randomized
+  and therefore *unknowable* (CPython never exposes it): forked
+  children inherit the seed byte-for-byte.  Fork keeps the historical
+  caveat — forking a process that already runs many threads can
+  inherit locks held mid-operation — so threaded callers should either
+  pin ``PYTHONHASHSEED`` (getting forkserver) or run one sharded
+  workload before spawning threads.
+* serial — platforms with neither method (or broken pools) run the
+  same shards in process: same bits, no parallelism.
+
+The pool is created lazily on the first genuinely parallel map
+(:meth:`ShardExecutor.prestart` forces it early — servers call it
+before taking traffic) and torn down by :meth:`close` or garbage
+collection, so sessions that never shard never pay for a pool.
 """
 
 from __future__ import annotations
@@ -67,6 +85,7 @@ __all__ = [
     "shard_seed",
     "spawn_shard_rng",
     "default_workers",
+    "pool_start_method",
 ]
 
 DEFAULT_MAX_SHARDS = 16
@@ -116,6 +135,32 @@ def spawn_shard_rng(base: int, index: int) -> random.Random:
     nothing else.
     """
     return random.Random(shard_seed(base, index))
+
+
+def pool_start_method() -> str | None:
+    """The multiprocessing start method shard pools will use, or ``None``.
+
+    ``forkserver`` when the hash seed is knowable (``PYTHONHASHSEED``
+    pinned to an integer in the environment — the forkserver and its
+    workers then re-derive the same seed from the inherited
+    environment, and fork+exec is thread-safe); ``fork`` when the seed
+    is randomized and only inheritance can reproduce it; ``None`` when
+    neither method exists (the executor stays serial).  A pure function
+    of the environment, exposed so deployments can assert which regime
+    their configuration lands in.
+    """
+    try:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+    except ImportError:  # pragma: no cover - no multiprocessing at all
+        return None
+    seed = os.environ.get("PYTHONHASHSEED", "")
+    if seed.isdigit() and "forkserver" in methods:
+        return "forkserver"
+    if "fork" in methods:
+        return "fork"
+    return None
 
 
 def default_workers() -> int | None:
@@ -169,6 +214,7 @@ class ShardExecutor:
         self._pool_broken = False
         self._closed = False
         self._finalizer = None
+        self._start_method = None
         # Sessions may be shared across threads; pool creation/teardown
         # must not race (two racing creators would leak a pool until GC).
         self._pool_lock = threading.Lock()
@@ -267,6 +313,34 @@ class ShardExecutor:
         """Whether maps may actually fan out to worker processes."""
         return self.workers >= 2 and not self._pool_broken and not self._closed
 
+    @property
+    def start_method(self) -> str | None:
+        """Start method of the live pool (``None`` until one is created)."""
+        return self._start_method
+
+    def prestart(self) -> bool:
+        """Create the worker pool now; ``True`` if it came up parallel.
+
+        The lazy default creates the pool on the first sharded map, but
+        a *threaded* host (the async serving layer) wants it earlier:
+        under the ``fork`` start method the pool must fork before user
+        threads exist, and even under ``forkserver`` warming the first
+        worker off the request path avoids paying cold-start latency on
+        a tenant's query.  The round-trip task both forces the
+        forkserver/worker to spawn and proves the pool answers.
+        """
+        if not self.parallel:
+            return False
+        pool = self._ensure_pool()
+        if pool is None:
+            return False
+        try:
+            pool.submit(os.getpid).result()
+        except BaseException:
+            self._discard_pool(broken=True)
+            return False
+        return True
+
     def map(self, fn: Callable, tasks: Sequence[tuple], validate: bool = True) -> list:
         """``[fn(*args) for args in tasks]``, one task per shard.
 
@@ -354,16 +428,21 @@ class ShardExecutor:
                 return self._pool
             if self._pool_broken or self._closed:
                 return None
+            method = pool_start_method()
+            if method is None:
+                # No fork-family start method on this platform: stay serial.
+                self._pool_broken = True
+                return None
             try:
                 import multiprocessing
                 from concurrent.futures import ProcessPoolExecutor
 
-                context = multiprocessing.get_context("fork")
+                context = multiprocessing.get_context(method)
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers, mp_context=context
                 )
+                self._start_method = method
             except (ImportError, OSError, ValueError):
-                # No multiprocessing / no fork on this platform: stay serial.
                 self._pool_broken = True
                 return None
             self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)

@@ -366,10 +366,13 @@ class TestMemoCacheLRU:
         assert cache.get("missing") is None
         cache.put("k", "v")
         assert cache.get("k") == "v"
-        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "entries": 1}
+        stats = cache.stats.as_dict()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+        assert stats["approx_bytes"] > 0  # byte accounting rides along (PR 6)
         assert len(cache) == 1
         cache.clear()
         assert len(cache) == 0
+        assert cache.stats.as_dict()["approx_bytes"] == 0
 
 
 class TestThreadSafety:
@@ -602,3 +605,104 @@ class TestPrivateCopies:
         assert clone.w.version == db.w.version
         clone.set_relation("S", clone.relation("R"))  # lock was recreated
         assert "S" not in db.relations
+
+
+class TestStartMethod:
+    """The forkserver/fork/serial start-method choice and hash-seed handoff."""
+
+    def _probe(self, env_seed):
+        """pool_start_method() as seen by a subprocess with the given seed."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env.pop("PYTHONHASHSEED", None)
+        if env_seed is not None:
+            env["PYTHONHASHSEED"] = env_seed
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.util.parallel import pool_start_method;"
+                "print(pool_start_method())",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+
+    def test_pinned_hash_seed_selects_forkserver(self):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        expected = "forkserver" if "forkserver" in methods else (
+            "fork" if "fork" in methods else "None"
+        )
+        assert self._probe("0") == expected
+        assert self._probe("12345") == expected
+
+    def test_randomized_hash_seed_falls_back_to_fork(self):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        expected = "fork" if "fork" in methods else "None"
+        assert self._probe(None) == expected
+        assert self._probe("random") == expected
+
+    def test_prestart_brings_up_the_pool(self):
+        with ShardExecutor(2) as executor:
+            assert executor.start_method is None  # lazy until forced
+            assert executor.prestart()
+            assert executor.start_method in {"fork", "forkserver"}
+            assert executor.prestart()  # idempotent
+
+    def test_prestart_serial_executor_is_a_noop(self):
+        with ShardExecutor(1) as executor:
+            assert not executor.prestart()
+            assert executor.start_method is None
+
+    def test_forkserver_results_match_serial(self, monkeypatch):
+        """Under a pinned hash seed (forkserver pool), sharded results are
+        bit-identical to the serial in-process path."""
+        import subprocess
+        import sys
+
+        code = (
+            "import repro\n"
+            "from repro.generators.coins import coin_database\n"
+            "Q = 'project[CoinType, P1 / P2 -> P](join(conf[P1](T), conf[P2](project[](T))))'\n"
+            "SCRIPT = '''\n"
+            "R := project[CoinType](repair-key[@ Count](Coins));\n"
+            "S := project[CoinType, Toss, Face](repair-key[CoinType, Toss @ FProb](\n"
+            "       product(Faces, literal[Toss]{(1), (2)})));\n"
+            "T := join(R, project[CoinType](select[Toss = 1 and Face = 'H'](S)),\n"
+            "          project[CoinType](select[Toss = 2 and Face = 'H'](S)));\n"
+            "'''\n"
+            "results = []\n"
+            "for workers in (1, 2):\n"
+            "    db = repro.connect(coin_database(), rng=5, workers=workers)\n"
+            "    db.run_script(SCRIPT)\n"
+            "    results.append(sorted(db.query(Q).to_complete().rows))\n"
+            "    method = db.executor.start_method\n"
+            "    db.close()\n"
+            "assert results[0] == results[1], results\n"
+            "print(method)\n"
+        )
+        import os
+
+        env = dict(os.environ, PYTHONHASHSEED="0")
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.returncode == 0, out.stderr
+        # The 2-worker leg must have actually used a pool (forkserver when
+        # available under the pinned seed); serial-only platforms print None.
+        assert out.stdout.strip() in {"forkserver", "fork", "None"}
