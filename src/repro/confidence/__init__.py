@@ -20,6 +20,12 @@ from repro.confidence.bounds import (
     karp_luby_sample_size,
     rounds_for,
 )
+from repro.confidence.dissociation import (
+    DEFAULT_BOUND_BUDGET,
+    BoundInterval,
+    dissociation_interval,
+    dissociation_intervals,
+)
 from repro.confidence.dnf import Dnf
 from repro.confidence.exact import (
     EnumerationLimitError,
@@ -40,6 +46,10 @@ from repro.confidence.naive_mc import (
 
 __all__ = [
     "Dnf",
+    "BoundInterval",
+    "DEFAULT_BOUND_BUDGET",
+    "dissociation_interval",
+    "dissociation_intervals",
     "HAS_NUMPY",
     "BackendUnavailableError",
     "BatchKarpLubySampler",

@@ -1,0 +1,354 @@
+"""Oblivious (dissociation-style) upper *and* lower bounds on DNF confidence.
+
+Exact confidence is #P-complete (Theorem 3.4), but a *guaranteed
+interval* around it is cheap: Gatterbauer & Suciu's approximate lifted
+inference computes upper and lower bounds for #P-hard DNFs as pure
+relational plans.  This module is that idea adapted to the engine's
+disjunctions of partial functions over multi-valued variables:
+:func:`dissociation_interval` returns a :class:`BoundInterval` with
+
+    interval.lower  ≤  P(F)  ≤  interval.upper
+
+always — the bounds are *oblivious* (never wrong, sometimes loose).
+Read-once disjunctions (and anything else the budgeted solver can
+finish) come back as exact point intervals; hard instances come back
+with the interval the budget could afford.
+
+The solver mirrors the exact decomposition solver's structure with a
+node budget bolted on:
+
+1. **Independent-component factoring** (free — no budget spent):
+   clauses over disjoint variable sets are independent, and
+   ``1 − ∏(1 − x_c)`` is monotone in each component probability, so the
+   component intervals combine by interval arithmetic without loss.
+   Read-once DNFs decompose into single-clause components and are
+   therefore always exact here, in linear time.
+2. **Budgeted Shannon expansion** (one budget unit per expansion): the
+   branch combination ``Σ_v P(X=v)·P_v`` is monotone too, so branch
+   intervals sum exactly.  While budget remains, the bound solver *is*
+   the exact solver.
+3. **Base-case component bounds** at budget exhaustion, from the clause
+   weights ``p_i`` and the pairwise intersection weights
+   ``q_ij = weight(c_i ∪ c_j)`` (0 for inconsistent pairs — their world
+   sets are disjoint):
+
+   * lower: ``max(max_i p_i, Σp_i − Σ_{i<j} q_ij)`` — the degree-2
+     Bonferroni (Kounias) inequality, always valid;
+   * upper: ``Σp_i`` (union bound) improved to Hunter's bound
+     ``Σp_i − Σ_{(i,j)∈T} q_ij`` over a maximum-weight spanning tree
+     ``T``, always valid; and, **only** when every clause pair is
+     consistent (each shared variable is demanded one single value, so
+     the clauses are monotone conjunctions over independent Boolean
+     indicators), the FKG/dissociation product bound
+     ``1 − ∏(1 − p_i)``.
+
+   The product bound is *invalid* in general: with X uniform on {1, 2}
+   the clauses ``X=1`` and ``X=2`` have ``1 − ∏(1−p_i) = 3/4`` but
+   probability 1.  Conversely, mutually-exclusive clause sets (all
+   ``q_ij = 0`` — repair-key alternatives) make Bonferroni and Hunter
+   coincide at ``Σp_i``: an exact answer without a single expansion.
+
+Everything is computed in exact :class:`~fractions.Fraction` arithmetic,
+so an interval is a pure function of the clause set — identical across
+trial backends, worker counts, and hash seeds, which is what lets the
+``auto`` policy route on it without breaking the engine's differential
+determinism contracts.  The pairwise consistency screen is vectorized
+with numpy when importable (the same integer-coding idea as
+:mod:`repro.confidence.batch`); the screened result is integer-exact, so
+both code paths produce identical intervals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.confidence.dnf import Dnf
+from repro.confidence.exact import (
+    _SATISFIED,
+    _Decomposition,
+    _branching_variable,
+    _connected_components,
+)
+from repro.urel.conditions import Condition
+from repro.urel.variables import VariableTable
+from repro.worlds.database import Prob
+
+try:  # pragma: no cover - exercised via whichever path the host has
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "BoundInterval",
+    "dissociation_interval",
+    "dissociation_intervals",
+    "DEFAULT_BOUND_BUDGET",
+    "PAIR_CAP",
+]
+
+DEFAULT_BOUND_BUDGET = 64
+"""Default Shannon-expansion budget: small enough that hard DNFs (dense
+bipartite 2DNFs and friends) fail fast into the pairwise bounds and stay
+routed to sampling, large enough to finish every practically-structured
+instance the exact router would accept."""
+
+PAIR_CAP = 48
+"""Components larger than this skip the O(k²) pairwise bounds and fall
+back to ``max p_i`` / union-bound — keeping the worst-case base cost
+linear in the clause count."""
+
+
+@dataclass(frozen=True)
+class BoundInterval:
+    """A guaranteed enclosure ``lower ≤ P(F) ≤ upper`` of a confidence.
+
+    Bounds are exact rationals; ``is_exact`` intervals pin the
+    probability to a point (the solver finished, or the structure —
+    read-once, mutually exclusive — made the bounds meet).
+    """
+
+    lower: Prob
+    upper: Prob
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the interval is a single point — P(F) is known."""
+        return self.lower == self.upper
+
+    @property
+    def midpoint(self) -> Prob:
+        """The interval's center — the natural point summary of the bound."""
+        return (self.lower + self.upper) / 2
+
+    @property
+    def width(self) -> Prob:
+        return self.upper - self.lower
+
+    def __contains__(self, p) -> bool:
+        return self.lower <= p <= self.upper
+
+
+def dissociation_interval(dnf: Dnf, budget: int = DEFAULT_BOUND_BUDGET) -> BoundInterval:
+    """Guaranteed confidence bounds for ``dnf``, memoized on the object.
+
+    ``budget`` caps the Shannon expansions spent before the solver falls
+    back to the pairwise Bonferroni/Hunter/FKG bounds; component
+    factoring and single-clause components are free, so read-once
+    disjunctions are exact at any budget (including 0).
+    """
+    cache = dnf._bounds
+    if cache is None:
+        cache = dnf._bounds = {}
+    interval = cache.get(budget)
+    if interval is None:
+        interval = _compute_interval(dnf, budget)
+        cache[budget] = interval
+    return interval
+
+
+def _compute_interval(dnf: Dnf, budget: int) -> BoundInterval:
+    if dnf.is_empty:
+        return BoundInterval(Fraction(0), Fraction(0))
+    if dnf.is_trivially_true:
+        return BoundInterval(Fraction(1), Fraction(1))
+    lower, upper = _BoundSolver(dnf.w, budget).solve(frozenset(dnf.members))
+    return BoundInterval(lower, upper)
+
+
+def dissociation_intervals(
+    dnfs: Sequence[Dnf],
+    budget: int = DEFAULT_BOUND_BUDGET,
+    executor=None,
+) -> list[BoundInterval]:
+    """Bounds for a whole batch of disjunctions, sharded when profitable.
+
+    Bounds draw no randomness, so the executor path needs no shard
+    seeds: the DNF list is cut by the worker-count-independent
+    :meth:`~repro.util.parallel.ShardExecutor.plan_items` schedule and
+    results concatenate in shard order — bit-identical at every worker
+    count, exactly like the exact strategies' sharded batches.
+    """
+    if executor is not None:
+        shards = executor.plan_items(len(dnfs))
+        if len(shards) > 1:
+            results = executor.map(
+                _interval_shard_task,
+                [(list(dnfs[start:stop]), budget) for start, stop in shards],
+            )
+            return [interval for shard in results for interval in shard]
+    return [dissociation_interval(dnf, budget) for dnf in dnfs]
+
+
+def _interval_shard_task(dnfs: list[Dnf], budget: int) -> list[BoundInterval]:
+    """One shard of a sharded bounds batch (module level: pickles)."""
+    return [dissociation_interval(dnf, budget) for dnf in dnfs]
+
+
+class _BoundSolver:
+    """Budget-limited interval analogue of the exact decomposition solver.
+
+    Traversal order is made deterministic (components and clauses sorted
+    by repr) because the budget drains as the solver walks: a
+    hash-seed-dependent order could exhaust it on different subproblems
+    and return different — still valid, but different — intervals.
+    """
+
+    __slots__ = ("w", "budget", "_memo")
+
+    def __init__(self, w: VariableTable, budget: int):
+        self.w = w
+        self.budget = budget
+        self._memo: dict[frozenset[Condition], tuple[Prob, Prob]] = {}
+
+    def solve(self, clauses: frozenset[Condition]) -> tuple[Prob, Prob]:
+        if not clauses:
+            return Fraction(0), Fraction(0)
+        if any(c.is_empty for c in clauses):
+            return Fraction(1), Fraction(1)
+        cached = self._memo.get(clauses)
+        if cached is not None:
+            return cached
+
+        components = _connected_components(clauses)
+        if len(components) > 1:
+            # Disjoint variable sets: 1 − ∏(1 − x) is monotone in every
+            # component probability, so the interval product is tight.
+            components.sort(key=lambda comp: min(repr(c) for c in comp))
+            miss_lower: Prob = Fraction(1)  # ∏(1 − upper_c)
+            miss_upper: Prob = Fraction(1)  # ∏(1 − lower_c)
+            for component in components:
+                lower_c, upper_c = self.solve(component)
+                miss_lower = miss_lower * (1 - upper_c)
+                miss_upper = miss_upper * (1 - lower_c)
+            result = (1 - miss_upper, 1 - miss_lower)
+        elif len(clauses) == 1:
+            (clause,) = clauses
+            p = self.w.weight(clause)
+            result = (p, p)
+        elif self.budget > 0:
+            self.budget -= 1
+            var = _branching_variable(clauses)
+            lower: Prob = Fraction(0)
+            upper: Prob = Fraction(0)
+            for value in self.w.domain(var):
+                reduced = _Decomposition._condition_on(clauses, var, value)
+                if reduced is _SATISFIED:
+                    branch = (Fraction(1), Fraction(1))
+                else:
+                    branch = self.solve(reduced)
+                p = self.w.prob(var, value)
+                lower = lower + p * branch[0]
+                upper = upper + p * branch[1]
+            result = (lower, upper)
+        else:
+            result = self._component_bounds(clauses)
+
+        self._memo[clauses] = result
+        return result
+
+    # -------------------------------------------------- base-case bounds
+    def _component_bounds(self, clauses: frozenset[Condition]) -> tuple[Prob, Prob]:
+        """Pairwise bounds for one connected component, budget exhausted."""
+        members = sorted(clauses, key=repr)
+        weights = [self.w.weight(c) for c in members]
+        k = len(members)
+        total: Prob = Fraction(0)
+        for p in weights:
+            total = total + p
+        best = max(weights)
+        if k > PAIR_CAP:
+            return best, min(Fraction(1), total)
+
+        consistent = _consistent_pairs(members)
+        pair_weight: dict[tuple[int, int], Prob] = {}
+        s2: Prob = Fraction(0)
+        for i, j in consistent:
+            union = members[i].union(members[j])
+            # Consistency was established by the screen, so the union
+            # exists; its weight is P(A_i ∩ A_j) exactly.
+            q = self.w.weight(union)
+            pair_weight[(i, j)] = q
+            s2 = s2 + q
+
+        lower = max(best, total - s2, Fraction(0))
+        # Hunter's bound: Σp_i − Σ_{(i,j)∈T} q_ij for any tree T on the
+        # clauses; maximizing the tree weight minimizes the bound.
+        upper = min(Fraction(1), total - _max_spanning_tree_weight(k, pair_weight))
+        if len(consistent) == k * (k - 1) // 2:
+            # Every pair consistent ⇒ each variable is demanded one
+            # single value across the component ⇒ the clauses are
+            # monotone conjunctions of independent Boolean indicators,
+            # and FKG gives the dissociation product bound.
+            miss: Prob = Fraction(1)
+            for p in weights:
+                miss = miss * (1 - p)
+            upper = min(upper, 1 - miss)
+        return lower, upper
+
+
+def _consistent_pairs(members: list[Condition]) -> list[tuple[int, int]]:
+    """Indices (i < j) of clause pairs whose partial functions agree.
+
+    The numpy screen integer-codes the clauses against the variables
+    they mention (sentinel −1 for "not in this clause"), then tests all
+    pairs with one boolean-array program — the
+    :mod:`repro.confidence.batch` coding idea.  Integer comparisons are
+    exact, so both paths return identical pair sets.
+    """
+    k = len(members)
+    if _np is not None and k >= 8:
+        variables = sorted({v for c in members for v in c.variables}, key=repr)
+        column = {var: i for i, var in enumerate(variables)}
+        codes: dict[int, dict[object, int]] = {i: {} for i in range(len(variables))}
+        matrix = _np.full((k, len(variables)), -1, dtype=_np.int64)
+        for row, clause in enumerate(members):
+            for var, value in clause.items():
+                col = column[var]
+                table = codes[col]
+                code = table.setdefault(value, len(table))
+                matrix[row, col] = code
+        a = matrix[:, None, :]
+        b = matrix[None, :, :]
+        conflict = ((a >= 0) & (b >= 0) & (a != b)).any(axis=2)
+        i_idx, j_idx = _np.nonzero(~conflict)
+        return [(int(i), int(j)) for i, j in zip(i_idx, j_idx) if i < j]
+    return [
+        (i, j)
+        for i in range(k)
+        for j in range(i + 1, k)
+        if members[i].consistent_with(members[j])
+    ]
+
+
+def _max_spanning_tree_weight(k: int, pair_weight: dict[tuple[int, int], Prob]) -> Prob:
+    """Weight of a maximum spanning tree on k clauses (Prim, O(k²)).
+
+    Missing pairs weigh 0 (inconsistent clauses intersect nowhere), so
+    the graph is always complete and the tree always spans; the maximum
+    *weight* is unique even when the maximizing tree is not.
+    """
+    if k <= 1:
+        return Fraction(0)
+
+    def edge(i: int, j: int) -> Prob:
+        return pair_weight.get((i, j) if i < j else (j, i), Fraction(0))
+
+    in_tree = [False] * k
+    in_tree[0] = True
+    best = [edge(0, i) for i in range(k)]
+    total: Prob = Fraction(0)
+    for _ in range(k - 1):
+        pick = -1
+        for i in range(k):
+            if not in_tree[i] and (pick < 0 or best[i] > best[pick]):
+                pick = i
+        in_tree[pick] = True
+        total = total + best[pick]
+        for i in range(k):
+            if not in_tree[i]:
+                w = edge(pick, i)
+                if w > best[i]:
+                    best[i] = w
+    return total

@@ -28,10 +28,14 @@ class Dnf:
     removed, preserving first occurrence.
     """
 
-    __slots__ = ("w", "members", "weights", "_variables")
+    __slots__ = ("w", "members", "weights", "_variables", "_bounds")
 
     def __init__(self, conditions: Iterable[Condition], w: VariableTable):
         self.w = w
+        # Lazy per-budget memo for repro.confidence.dissociation — the
+        # bound interval is a pure function of (members, W), so repeated
+        # routing/pruning questions about one disjunction are free.
+        self._bounds = None
         seen: set[Condition] = set()
         members: list[Condition] = []
         for cond in conditions:

@@ -11,6 +11,7 @@ from repro.core.approx_select import (
     DecisionRecord,
     UnreliableInputError,
 )
+from repro.core.certify import certify_predicate, evaluate_term_interval
 from repro.core.driver import DriverReport, evaluate_with_guarantee
 from repro.core.error_bounds import AnnotatedRelation, proposition_66_bound
 from repro.core.intervals import Orthotope, relative_interval, singularity_interval
@@ -77,6 +78,8 @@ __all__ = [
     "PredicateApproximator",
     "PredicateDecision",
     "approximate_predicate",
+    "certify_predicate",
+    "evaluate_term_interval",
     "naive_decide",
     "ApproximableValue",
     "KarpLubyValue",

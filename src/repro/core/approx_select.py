@@ -99,6 +99,7 @@ class ApproxQueryEvaluator:
         copy_db: bool = True,
         backend: str | None = None,
         executor=None,
+        bounds_budget: int | None = None,
     ):
         if (rounds is None) == (decision_delta is None):
             raise ValueError("specify exactly one of rounds / decision_delta")
@@ -111,6 +112,7 @@ class ApproxQueryEvaluator:
         self.epsilon_method = epsilon_method
         self.backend = backend
         self.executor = executor
+        self.bounds_budget = bounds_budget
         self.decision_log: list[DecisionRecord] = []
 
     # ------------------------------------------------------------------
@@ -475,6 +477,14 @@ class ApproxQueryEvaluator:
         the pre-candidate-parallel engine — with each value's trial
         allocation still sharded *within* the candidate when an
         executor is present.
+
+        With a ``bounds_budget``, each candidate's approximator first
+        tries to certify the predicate from dissociation bound
+        intervals; certified candidates return a zero-error decision
+        without drawing a trial.  Candidate streams are positional
+        (wide path) or burned per candidate in order (sequential path),
+        so pruning some candidates never shifts the streams of the
+        candidates that still sample.
         """
         executor = self.executor
         if executor is not None:
@@ -493,6 +503,7 @@ class ApproxQueryEvaluator:
                         self.decision_delta,
                         self.epsilon_method,
                         self.backend,
+                        self.bounds_budget,
                     )
                     for start, stop in shards
                 ]
@@ -512,6 +523,7 @@ class ApproxQueryEvaluator:
                 epsilon_method=self.epsilon_method,
                 backend=self.backend,
                 executor=executor,
+                bounds_budget=self.bounds_budget,
             )
             if self.rounds is not None:
                 decisions.append(approximator.run_rounds(self.rounds))

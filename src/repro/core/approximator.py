@@ -41,7 +41,9 @@ from repro.algebra.expressions import (
     substitute_constants,
 )
 from repro.confidence.bounds import rounds_for
+from repro.confidence.dissociation import dissociation_interval
 from repro.confidence.dnf import Dnf
+from repro.core.certify import certify_predicate
 from repro.core.linear import (
     NonLinearError,
     affine_form,
@@ -49,7 +51,12 @@ from repro.core.linear import (
     epsilon_for_predicate,
 )
 from repro.core.readonce import duplicate_variables, epsilon_by_corners, is_read_once
-from repro.core.values import ApproximableValue, as_approximable
+from repro.core.values import (
+    ApproximableValue,
+    ExactValue,
+    KarpLubyValue,
+    as_approximable,
+)
 from repro.util.rng import ensure_rng, spawn_rng
 
 __all__ = [
@@ -78,6 +85,10 @@ class PredicateDecision:
                               ε₀-singularity (Definition 5.6).
     ``exact``                 all inputs were exact; the decision is
                               deterministic.
+    ``certified_by_bounds``   the decision came from guaranteed
+                              dissociation bound intervals alone — no
+                              trial was drawn, and the error bound is a
+                              true 0 (not merely an (ε, δ) statement).
     """
 
     value: bool
@@ -89,6 +100,7 @@ class PredicateDecision:
     estimates: dict[str, float]
     suspected_singularity: bool
     exact: bool
+    certified_by_bounds: bool = False
 
 
 class PredicateApproximator:
@@ -107,6 +119,16 @@ class PredicateApproximator:
     ``epsilon_method``: "linear" (Theorem 5.2 closed form), "corners"
     (Theorem 5.5 binary search, read-once predicates), or "auto" (linear,
     falling back to corners on non-linear predicates).
+
+    ``bounds_budget`` (``None``/0 disables) seeds every Karp–Luby value
+    with its guaranteed dissociation bound interval
+    (:func:`repro.confidence.dissociation.dissociation_interval`): values
+    whose interval is a *point* become exact constants outright, and
+    :meth:`decide`/:meth:`run_rounds` first try to certify the predicate
+    over the interval box (:func:`repro.core.certify.certify_predicate`)
+    — a certified candidate never draws a trial.  The seeding happens
+    after all randomness streams are spawned, so enabling bounds never
+    shifts the trial streams of values that still sample.
     """
 
     def __init__(
@@ -119,6 +141,7 @@ class PredicateApproximator:
         epsilon_method: str = "auto",
         backend: str | None = None,
         executor=None,
+        bounds_budget: int | None = None,
     ):
         if not 0 < eps0 < 1:
             raise ValueError(f"eps0 must be in (0, 1), got {eps0}")
@@ -128,6 +151,7 @@ class PredicateApproximator:
         self.eps0 = eps0
         self.constants = dict(constants or {})
         self.epsilon_method = epsilon_method
+        self.bounds_budget = bounds_budget
         generator = ensure_rng(rng)
         missing = attributes(predicate) - set(values) - set(self.constants)
         if missing:
@@ -142,6 +166,8 @@ class PredicateApproximator:
         }
         self.aliases: dict[str, str] = {}
         self._maybe_duplicate_variables(generator)
+        self._bounds_substituted = False
+        self._seed_bound_intervals()
 
     def _maybe_duplicate_variables(self, generator: random.Random) -> None:
         """Apply the Section 5 duplication trick when it is needed.
@@ -179,6 +205,73 @@ class PredicateApproximator:
             )
         for original in set(relevant.values()):
             del self.samplers[original]
+
+    def _seed_bound_intervals(self) -> None:
+        """Attach dissociation bound intervals to the Karp–Luby values.
+
+        Runs strictly *after* every ``spawn_rng`` of ``__init__`` (per-
+        value streams and duplication clones), so the substitution of
+        point-interval values by exact constants cannot shift any
+        surviving value's randomness stream: pruned and unpruned runs
+        draw identical trials for everything that still samples.
+        """
+        if not self.bounds_budget:
+            return
+        for name, sampler in sorted(self.samplers.items()):
+            if isinstance(sampler, KarpLubyValue) and not sampler.is_exact:
+                interval = dissociation_interval(sampler.dnf, self.bounds_budget)
+                sampler.interval = interval
+                if interval.is_exact:
+                    self.samplers[name] = ExactValue(float(interval.lower))
+                    self._bounds_substituted = True
+
+    def certify_by_bounds(self) -> bool | None:
+        """Decide the predicate from guaranteed intervals alone, if possible.
+
+        Builds the box of exact points (constants, exact values) and
+        seeded bound intervals and evaluates the predicate over it with
+        three-valued interval logic.  ``True``/``False`` is a *certain*
+        decision — the true confidences lie inside the box — and
+        ``None`` means the box straddles the predicate (or bounds are
+        disabled) and Figure 3 must sample.
+        """
+        if not self.bounds_budget:
+            return None
+        env: dict[str, object] = dict(self.constants)
+        for name, sampler in self.samplers.items():
+            if sampler.is_exact:
+                env[name] = sampler.estimate
+            elif isinstance(sampler, KarpLubyValue) and sampler.interval is not None:
+                env[name] = sampler.interval
+        return certify_predicate(self.predicate, env)
+
+    def _certified_decision(self, value: bool) -> PredicateDecision:
+        estimates: dict[str, float] = {}
+        for name, sampler in self.samplers.items():
+            if (
+                not sampler.is_exact
+                and isinstance(sampler, KarpLubyValue)
+                and sampler.interval is not None
+            ):
+                # No trial was drawn; the interval midpoint is the best
+                # available point summary of the undecided confidence.
+                estimates[name] = float(sampler.interval.midpoint)
+            elif sampler.is_exact or sampler.trials:
+                estimates[name] = float(sampler.estimate)
+            else:
+                estimates[name] = math.nan
+        return PredicateDecision(
+            value=value,
+            error_bound=0.0,
+            eps=self.eps0,
+            eps_psi=math.inf,
+            rounds=0,
+            total_trials=sum(s.trials for s in self.samplers.values()),
+            estimates=estimates,
+            suspected_singularity=False,
+            exact=not self._stochastic,
+            certified_by_bounds=True,
+        )
 
     # ---------------------------------------------------------------- guts
     @property
@@ -231,6 +324,9 @@ class PredicateApproximator:
         eps_psi = self._epsilon_psi(point)
         eps = max(self.eps0, clamp_epsilon(eps_psi))
         error = 0.0 if not self._stochastic else min(0.5, self._error_sum(eps))
+        # A decision whose every stochastic value collapsed to an exact
+        # dissociation bound was decided by bounds alone — no trial drawn.
+        certified = self._bounds_substituted and not self._stochastic
         return PredicateDecision(
             value=value,
             error_bound=error,
@@ -241,6 +337,7 @@ class PredicateApproximator:
             estimates={n: float(s.estimate) for n, s in self.samplers.items()},
             suspected_singularity=bool(self._stochastic) and eps_psi < self.eps0,
             exact=not self._stochastic,
+            certified_by_bounds=certified,
         )
 
     # ---------------------------------------------------------------- API
@@ -255,6 +352,9 @@ class PredicateApproximator:
         stochastic = self._stochastic
         if not stochastic:
             return self._decision(rounds=0)
+        certified = self.certify_by_bounds()
+        if certified is not None:
+            return self._certified_decision(certified)
         if max_rounds is None:
             # Natural worst-case bound (+1 slack for float edges).
             max_rounds = rounds_for(self.eps0, delta / len(stochastic)) + 1
@@ -285,6 +385,9 @@ class PredicateApproximator:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
         if not self._stochastic:
             return self._decision(rounds=0)
+        certified = self.certify_by_bounds()
+        if certified is not None:
+            return self._certified_decision(certified)
         for name in self._stochastic:
             self.samplers[name].refine_many(rounds)
         return self._decision(rounds)
@@ -314,6 +417,7 @@ def decide_candidates_shard(
     decision_delta: float | None,
     epsilon_method: str,
     backend: str | None,
+    bounds_budget: int | None = None,
 ) -> list[PredicateDecision]:
     """Decide one shard of σ̂ candidate tuples (module level: pickles).
 
@@ -337,6 +441,7 @@ def decide_candidates_shard(
             constants=constants,
             epsilon_method=epsilon_method,
             backend=backend,
+            bounds_budget=bounds_budget,
         )
         if rounds is not None:
             decisions.append(approximator.run_rounds(rounds))
@@ -355,6 +460,7 @@ def approximate_predicate(
     epsilon_method: str = "auto",
     backend: str | None = None,
     executor=None,
+    bounds_budget: int | None = None,
 ) -> PredicateDecision:
     """One-shot Figure 3 run (see :class:`PredicateApproximator`)."""
     approximator = PredicateApproximator(
@@ -366,5 +472,6 @@ def approximate_predicate(
         epsilon_method,
         backend=backend,
         executor=executor,
+        bounds_budget=bounds_budget,
     )
     return approximator.decide(delta)

@@ -51,7 +51,9 @@ class DriverReport:
     ``evaluations``    how many full query evaluations were performed;
     ``achieved``       True iff every non-singular row's bound is ≤ δ;
     ``history``        (l, worst non-singular bound) per evaluation;
-    ``decisions``      σ̂ decision audit records of the final evaluation.
+    ``decisions``      σ̂ decision audit records of the final evaluation;
+    ``bounds_certified`` σ̂ candidates of the final evaluation decided by
+                       dissociation bound intervals alone (no trials).
     """
 
     annotated: AnnotatedRelation
@@ -64,6 +66,7 @@ class DriverReport:
     singular_rows: frozenset[URow] = frozenset()
     history: list[tuple[int, float]] = field(default_factory=list)
     decisions: list[DecisionRecord] = field(default_factory=list)
+    bounds_certified: int = 0
 
     @property
     def relation(self):
@@ -83,6 +86,7 @@ def evaluate_with_guarantee(
     epsilon_method: str = "auto",
     backend: str | None = None,
     executor=None,
+    bounds_budget: int | None = None,
 ) -> DriverReport:
     """Evaluate a positive UA[σ̂] query with overall tuple error ≤ δ.
 
@@ -103,6 +107,14 @@ def evaluate_with_guarantee(
     distribute each value's trial allocation as deterministic per-block
     budgets instead — the regime switch depends only on the candidate
     count, so results stay bit-identical at any worker count.
+
+    ``bounds_budget`` (``None``/0 disables) enables dissociation bound
+    pruning: every Karp–Luby value is seeded with its guaranteed bound
+    interval, point intervals become exact constants, and candidates
+    whose predicate is decided by the interval box alone are certified
+    with error 0 before any round budget is allocated.  Pruning never
+    shifts the trial streams of decisions that still sample, so results
+    at a given l are bit-identical wherever sampling still happens.
     """
     node = query.q if isinstance(query, Q) else query
     if not 0 < delta < 1:
@@ -125,6 +137,7 @@ def evaluate_with_guarantee(
             epsilon_method=epsilon_method,
             backend=backend,
             executor=executor,
+            bounds_budget=bounds_budget,
         )
         annotated = evaluator.evaluate(node)
         evaluations += 1
@@ -143,5 +156,10 @@ def evaluate_with_guarantee(
                 singular_rows=frozenset(annotated.singular),
                 history=history,
                 decisions=list(evaluator.decision_log),
+                bounds_certified=sum(
+                    1
+                    for record in evaluator.decision_log
+                    if record.decision.certified_by_bounds
+                ),
             )
         rounds = min(rounds * 2, max_rounds)

@@ -121,6 +121,13 @@ class KarpLubyValue(ApproximableValue):
     ):
         self._backend = backend
         self._executor = executor
+        #: Guaranteed enclosing bound interval
+        #: (:class:`repro.confidence.dissociation.BoundInterval`), seeded
+        #: by the Figure 3 approximator when bound pruning is enabled.
+        #: Advisory metadata: it never alters the estimate or the trial
+        #: stream, so sampled transcripts stay bit-identical with and
+        #: without it.
+        self.interval = None
         if backend is None and executor is None:
             self._sampler = KarpLubySampler(dnf, rng)
         else:
@@ -165,9 +172,11 @@ class KarpLubyValue(ApproximableValue):
         return self._sampler.error_bound(eps)
 
     def clone(self, rng: random.Random | int | None = None) -> "KarpLubyValue":
-        return KarpLubyValue(
+        fresh = KarpLubyValue(
             self._sampler.dnf, rng, backend=self._backend, executor=self._executor
         )
+        fresh.interval = self.interval
+        return fresh
 
 
 class HoeffdingMeanValue(ApproximableValue):

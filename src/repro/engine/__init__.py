@@ -15,6 +15,7 @@ from repro.engine.strategies import (
     AutoStrategy,
     ConfidenceReport,
     ConfidenceStrategy,
+    DissociationBounds,
     ExactDecomposition,
     ExactEnumeration,
     KarpLuby,
@@ -37,6 +38,7 @@ __all__ = [
     "query_fingerprint",
     "ConfidenceStrategy",
     "ConfidenceReport",
+    "DissociationBounds",
     "ExactDecomposition",
     "ExactEnumeration",
     "KarpLuby",

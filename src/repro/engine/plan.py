@@ -35,6 +35,7 @@ from repro.algebra.operators import (
     Union,
 )
 from repro.algebra.printer import unparse_expression
+from repro.confidence.dissociation import dissociation_interval
 from repro.confidence.dnf import Dnf
 
 if TYPE_CHECKING:
@@ -42,7 +43,13 @@ if TYPE_CHECKING:
     from repro.urel.evaluate import UEvaluator
     from repro.util.parallel import ShardExecutor
 
-__all__ = ["PlanNode", "ExplainReport", "explain_plan", "BELOW_THRESHOLD"]
+__all__ = [
+    "PlanNode",
+    "ExplainReport",
+    "explain_plan",
+    "BELOW_THRESHOLD",
+    "BOUNDS_PRUNED",
+]
 
 
 @dataclass
@@ -195,6 +202,14 @@ pays nothing for workloads under the profitable shard size — they run
 serially, in process — but a plan that *says so* lets an operator reading
 ``explain`` output see that raising ``workers`` cannot help this query.
 """
+
+
+BOUNDS_PRUNED = "bounds-pruned"
+"""Annotation suffix on σ̂ nodes: ``bounds-pruned[k/n]`` means k of the
+n group-confidence DNFs this selection decides have *exact* dissociation
+bound intervals — the Theorem 6.7 driver certifies those values without
+drawing a Karp–Luby trial (see :mod:`repro.confidence.dissociation`),
+so only the remaining n−k consume round budget."""
 
 
 def _sharded_path(executor, fans_out: bool | None = None) -> str | None:
@@ -376,13 +391,26 @@ def _build(node: Query, evaluator, strategy, executor=None, cache=None) -> PlanN
                 len(executor.plan_trials(strategy.trial_budget(dnf))) > 1
                 for dnf in dnfs
             )
+        # Group DNFs the driver's bound pruning certifies outright: not
+        # degenerate (those are free for every method) but with an exact
+        # dissociation interval — e.g. repair-key alternatives.
+        pruned = sum(
+            1
+            for dnf in dnfs
+            if not (dnf.is_empty or dnf.is_trivially_true or dnf.size == 1)
+            and dissociation_interval(dnf).is_exact
+        )
+        path = _sharded_path(executor, fans_out)
+        if pruned:
+            tag = f"{BOUNDS_PRUNED}[{pruned}/{len(dnfs)}]"
+            path = tag if path is None else f"{path}·{tag}"
         return PlanNode(
             "approx-select",
             unparse_expression(node.predicate),
             strategy=strategy.name,
             methods=counts,
             children=children,
-            path=_sharded_path(executor, fans_out),
+            path=path,
         )
     raise TypeError(f"cannot explain query node {node!r}")
 

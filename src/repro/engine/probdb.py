@@ -33,6 +33,7 @@ from repro.algebra.operators import BaseRel, Query
 from repro.algebra.parser import parse_query, parse_session
 from repro.algebra.relations import Relation
 from repro.confidence.batch import resolve_backend
+from repro.confidence.dissociation import DEFAULT_BOUND_BUDGET
 from repro.confidence.dnf import Dnf
 from repro.engine.cache import MemoCache, query_fingerprint
 from repro.engine.plan import ExplainReport, explain_plan
@@ -58,8 +59,12 @@ __all__ = ["ProbDB", "connect"]
 # identical request recomputes bit-identically without shifting the
 # session's sampled stream.  Everything else (sampling methods, even on
 # degenerate DNFs their batch machinery seeds shards; third-party
-# methods we cannot vouch for) is pinned as volatile.
-_RECOMPUTE_PURE_METHODS = frozenset({"exact-decomposition", "exact-enumeration"})
+# methods we cannot vouch for) is pinned as volatile.  Dissociation
+# bounds qualify: exact Fraction arithmetic over the clause set, never a
+# trial.
+_RECOMPUTE_PURE_METHODS = frozenset(
+    {"exact-decomposition", "exact-enumeration", "dissociation-bounds"}
+)
 
 
 def _report_volatile(report: ConfidenceReport) -> bool:
@@ -102,6 +107,18 @@ def connect(
     int to customize the shard plan parameters or to share one pool
     across sessions.  The ``REPRO_WORKERS`` environment variable
     supplies a default when the argument is left ``None``.
+
+    Example::
+
+        import repro
+
+        db = repro.connect(
+            {"R": repro.Relation.from_rows(("A",), [(1,), (2,)])},
+            rng=0,
+        )
+        result = db.query("select[A = 1](R)")
+        report = result.confidence((1,))    # exact Fraction(1) — R is complete
+        db.close()                          # or: with repro.connect(...) as db
     """
     return ProbDB(
         source,
@@ -138,7 +155,27 @@ class _EngineEvaluator(UEvaluator):
 
 
 class ProbDB:
-    """A probabilistic-database session: data, strategy, RNG, cache."""
+    """A probabilistic-database session: data, strategy, RNG, cache.
+
+    Usually constructed via :func:`repro.connect`.  The session owns a
+    U-relational database, a confidence strategy, one seeded RNG that
+    every stochastic subroutine derives from (same seed + same request
+    sequence = bit-identical answers), and a per-session memo cache.
+
+    The public surface, in the order a session typically uses it::
+
+        db = repro.connect(source, rng=7)
+        db.assign("R", "repair-key[@ Count](Coins)")   # name := query
+        db.query(q)                  # evaluate (EngineResult)
+        db.confidence(q)             # conf of every result tuple
+        db.confidence_all(q)         # {data tuple: ConfidenceReport}, batched
+        db.evaluate_with_guarantee(q, delta=0.05, eps0=0.1)   # Thm 6.7 driver
+        db.explain(q)                # the plan, with per-operator methods
+        db.close()                   # or use the session as a context manager
+
+    Queries are surface-syntax strings or ``repro.rel(...)`` builder
+    objects throughout.
+    """
 
     def __init__(
         self,
@@ -234,7 +271,13 @@ class ProbDB:
         raise TypeError(f"cannot interpret query of type {type(query).__name__}")
 
     def query(self, query: "Query | Q | str") -> EngineResult:
-        """Evaluate a query (without storing its result)."""
+        """Evaluate a query (without storing its result).
+
+        Accepts surface syntax or the ``repro.rel`` builder::
+
+            db.query("select[CoinType = 'fair'](Coins)")
+            db.query(repro.rel("Coins").select(repro.col("CoinType") == "fair"))
+        """
         node, source = self._resolve(query)
         started = time.perf_counter()
         if self._cache.enabled:
@@ -274,7 +317,13 @@ class ProbDB:
         return EngineResult(relation, complete, node, self, elapsed, source)
 
     def assign(self, name: str, query: "Query | Q | str") -> EngineResult:
-        """``name := query`` — evaluate and store (Example 2.2 session style)."""
+        """``name := query`` — evaluate and store (Example 2.2 session style).
+
+        The stored relation is queryable by name from then on::
+
+            db.assign("R", "repair-key[@ Count](Coins)")   # draw a coin
+            db.query("project[CoinType](R)")
+        """
         result = self.query(query)
         self.db.set_relation(name, result.relation, complete=result.complete)
         return result
@@ -285,6 +334,14 @@ class ProbDB:
         Like the database state itself, a name assigned twice keeps its
         *latest* result in the returned mapping (every assignment still
         executes).
+
+        Example::
+
+            results = db.run_script('''
+                R := repair-key[@ Count](Coins);
+                T := project[CoinType](R);
+            ''')
+            results["T"].rows
         """
         return {
             name: self.assign(name, node) for name, node in parse_session(script)
@@ -298,7 +355,10 @@ class ProbDB:
     ) -> EngineResult:
         """``conf`` of a query's result: ⟨t, Pr[t ∈ result]⟩ per possible tuple.
 
-        Uses the session strategy unless ``strategy`` overrides it.
+        Uses the session strategy unless ``strategy`` overrides it::
+
+            u = db.confidence("project[CoinType](R)")          # columns + P
+            u = db.confidence("R", strategy="karp-luby")       # force the FPRAS
         """
         node, source = self._resolve(query)
         inner = self.query(node)
@@ -331,6 +391,19 @@ class ProbDB:
         stream derived from the session seed; the session's trial
         ``backend`` and shard ``executor`` are used unless overridden
         via ``backend=...`` / ``executor=...``.
+
+        Dissociation bound pruning is ON by default: σ̂ candidates whose
+        guaranteed bound intervals already decide the predicate are
+        certified with error 0 before any sampling budget is allocated
+        (``DriverReport.bounds_certified`` counts them).  Pass
+        ``bounds_budget=0`` to disable, or another Shannon-expansion
+        budget to tune how hard the bound solver tries (see
+        :mod:`repro.confidence.dissociation`).  Example::
+
+            report = db.evaluate_with_guarantee(
+                "aselect[P > 0.3 ; conf(A) as P](R)", delta=0.05, eps0=0.1
+            )
+            report.bounds_certified   # candidates decided without trials
         """
         from repro.core.driver import evaluate_with_guarantee as _driver
 
@@ -338,6 +411,7 @@ class ProbDB:
         generator = spawn_rng(self._rng) if rng is None else ensure_rng(rng)
         kwargs.setdefault("backend", self.backend)
         kwargs.setdefault("executor", self.executor)
+        kwargs.setdefault("bounds_budget", DEFAULT_BOUND_BUDGET)
         return _driver(node, self.db, delta=delta, eps0=eps0, rng=generator, **kwargs)
 
     def explain(self, query: "Query | Q | str") -> ExplainReport:
@@ -346,6 +420,11 @@ class ProbDB:
         Runs the confidence sub-plans against a throwaway copy of the
         database (``EXPLAIN ANALYZE`` style), so ``auto`` decisions are
         reported from the DNFs the operators will actually face.
+
+        ``print(db.explain(q))`` renders the annotated plan tree (see
+        ``docs/strategies.md`` for the annotation glossary)::
+
+            print(db.explain("conf[P](T)"))
         """
         node, _source = self._resolve(query)
         # Fixed-seed scratch RNG: explain only *chooses* methods (never
@@ -366,7 +445,13 @@ class ProbDB:
 
     # ------------------------------------------------------------ confidence internals
     def tuple_confidence(self, relation: URelation, row: Sequence) -> ConfidenceReport:
-        """Confidence of one data tuple of ``relation``, cached per session."""
+        """Confidence of one data tuple of ``relation``, cached per session.
+
+        The row-level primitive behind :meth:`EngineResult.confidence`::
+
+            result = db.query("project[CoinType](R)")
+            db.tuple_confidence(result.relation, ("fair",))
+        """
         dnf = Dnf.for_tuple(relation, row, self.db.w)
         return self._compute_confidence(dnf, self.strategy)
 
@@ -445,7 +530,10 @@ class ProbDB:
         hands the whole batch to the strategy — sampling strategies then
         draw trials as vectorized blocks (and, for naive MC, evaluate
         all tuples against one shared block of worlds).  Returns a
-        mapping from data tuple to its :class:`ConfidenceReport`.
+        mapping from data tuple to its :class:`ConfidenceReport`::
+
+            for row, report in sorted(db.confidence_all("T").items()):
+                print(row, report.value, report.exact)
         """
         result = self.query(query)
         chosen = (
@@ -463,7 +551,13 @@ class ProbDB:
     def relation_confidences(
         self, relation: URelation, rows: Sequence[tuple]
     ) -> list[ConfidenceReport]:
-        """Batched confidences for the given data tuples of ``relation``."""
+        """Batched confidences for the given data tuples of ``relation``.
+
+        The batch primitive behind :meth:`EngineResult.confidences` —
+        reports come back in ``rows`` order::
+
+            db.relation_confidences(result.relation, result.rows)
+        """
         dnfs = [Dnf.for_tuple(relation, row, self.db.w) for row in rows]
         return self._compute_confidence_batch(dnfs, self.strategy)
 
@@ -495,10 +589,12 @@ class ProbDB:
 
     # ------------------------------------------------------------ introspection
     def relation(self, name: str) -> URelation:
+        """The stored U-relation named ``name`` (raises on unknown names)."""
         return self.db.relation(name)
 
     @property
     def relation_names(self) -> frozenset[str]:
+        """Names of every stored relation, base and assigned alike."""
         return self.db.relation_names
 
     @property
@@ -508,13 +604,16 @@ class ProbDB:
 
     @property
     def rng(self) -> random.Random:
+        """The session RNG — sole randomness source for sampled strategies."""
         return self._rng
 
     @property
     def cache_stats(self) -> dict[str, int]:
+        """Memo-cache counters: entries, hits, misses, bytes, evictions."""
         return self._cache.stats.as_dict()
 
     def clear_cache(self) -> None:
+        """Drop every memo-cache entry (confidence and query results)."""
         self._cache.clear()
 
     @property

@@ -29,6 +29,16 @@ class EngineResult:
     ``relation`` is the result U-relation; ``complete`` mirrors the
     paper's function ``c``; ``elapsed`` is evaluation wall-clock in
     seconds; ``source`` preserves the textual query when one was parsed.
+
+    Iterating the result yields its distinct possible data tuples in a
+    deterministic order; confidence and provenance are computed lazily
+    per row (and memoized on the session)::
+
+        result = db.query("project[CoinType](T)")
+        for row in result:                     # ('fair',), ('2headed',), ...
+            result.confidence(row)             # ConfidenceReport for the row
+            result.provenance(row)             # the row's conditions
+        result.confidences()                   # all rows, one batched pass
     """
 
     __slots__ = (

@@ -50,6 +50,11 @@ from repro.confidence.batch import (
     resolve_backend,
     shared_block_confidences,
 )
+from repro.confidence.dissociation import (
+    DEFAULT_BOUND_BUDGET,
+    dissociation_interval,
+    dissociation_intervals,
+)
 from repro.confidence.dnf import Dnf
 from repro.confidence.exact import (
     probability_by_decomposition,
@@ -63,6 +68,7 @@ from repro.worlds.database import Prob
 __all__ = [
     "ConfidenceReport",
     "ConfidenceStrategy",
+    "DissociationBounds",
     "ExactDecomposition",
     "ExactEnumeration",
     "KarpLuby",
@@ -92,6 +98,9 @@ class ConfidenceReport:
     ``strategy`` is the registry name the session asked for; ``method``
     is the concrete backend that actually ran (they differ under
     ``auto``).  ``exact`` marks values free of sampling error.
+    ``lower``/``upper`` carry a *guaranteed* enclosing interval when the
+    method produced one (dissociation bounds); unlike (ε, δ) error bars
+    they hold with certainty, and ``lower == upper`` implies ``exact``.
     """
 
     value: Prob
@@ -101,6 +110,8 @@ class ConfidenceReport:
     samples: int = 0
     eps: float | None = None
     delta: float | None = None
+    lower: Prob | None = None
+    upper: Prob | None = None
 
     def __float__(self) -> float:
         return float(self.value)
@@ -525,6 +536,61 @@ class NaiveMonteCarlo(ConfidenceStrategy):
 
 
 @register_strategy
+class DissociationBounds(ConfidenceStrategy):
+    """Guaranteed PTIME confidence intervals via oblivious/dissociation bounds.
+
+    Never samples: each DNF gets an enclosing ``[lower, upper]`` interval
+    from :func:`repro.confidence.dissociation.dissociation_interval` —
+    exact (point) on read-once and mutually-exclusive disjunctions, a
+    budgeted Shannon expansion with Bonferroni/Hunter base-case bounds
+    otherwise.  The reported ``value`` is the interval midpoint and
+    ``exact`` is set iff the interval is a point; the interval itself
+    rides along in ``lower``/``upper``.  All arithmetic is exact
+    Fractions, so results are backend- and worker-count-independent.
+    """
+
+    name = "dissociation-bounds"
+    consumes_rng = False
+
+    def __init__(
+        self,
+        eps: float | None = None,
+        delta: float | None = None,
+        backend: str | None = None,
+        budget: int = DEFAULT_BOUND_BUDGET,
+    ):
+        self.budget = budget
+
+    @property
+    def cache_token(self) -> tuple:
+        return (self.name, self.budget)
+
+    def _report(self, interval) -> ConfidenceReport:
+        return ConfidenceReport(
+            interval.midpoint,
+            self.name,
+            self.name,
+            exact=interval.is_exact,
+            lower=interval.lower,
+            upper=interval.upper,
+        )
+
+    def compute(self, dnf: Dnf, rng: random.Random) -> ConfidenceReport:
+        return self._report(dissociation_interval(dnf, self.budget))
+
+    def compute_batch(
+        self,
+        dnfs: Sequence[Dnf],
+        rng: random.Random,
+        executor: "ShardExecutor | None" = None,
+    ) -> list[ConfidenceReport]:
+        """Batched bounds: the DNF list shards over the executor's
+        worker-count-independent plan with no shard entropy at all."""
+        intervals = dissociation_intervals(dnfs, self.budget, executor=executor)
+        return [self._report(interval) for interval in intervals]
+
+
+@register_strategy
 class AutoStrategy(ConfidenceStrategy):
     """Per-tuple routing to the cheapest sound backend.
 
@@ -535,11 +601,18 @@ class AutoStrategy(ConfidenceStrategy):
        which factors into independent components in linear time;
     3. small F (|F| ≤ ``max_exact_size`` and |vars(F)| ≤
        ``max_exact_variables``) — exact decomposition stays affordable;
-    4. otherwise — the Karp–Luby FPRAS with this strategy's (ε, δ).
+    4. F whose dissociation bound interval is a *point*
+       (:func:`repro.confidence.dissociation.dissociation_interval` with
+       this strategy's ``bounds_budget``) — e.g. mutually-exclusive
+       clause sets of any size — the bound *is* the exact answer, no
+       trial drawn;
+    5. otherwise — the Karp–Luby FPRAS with this strategy's (ε, δ).
 
-    Every routed computation still reports ``strategy="auto"`` and the
-    concrete ``method`` chosen, so :meth:`ProbDB.explain` can show the
-    decision.
+    Step 4 only fires on exact intervals: certifying against a threshold
+    with a *loose* interval is the driver's job (it knows the
+    predicate), not the strategy's.  Every routed computation still
+    reports ``strategy="auto"`` and the concrete ``method`` chosen, so
+    :meth:`ProbDB.explain` can show the decision.
     """
 
     name = "auto"
@@ -551,13 +624,16 @@ class AutoStrategy(ConfidenceStrategy):
         backend: str | None = None,
         max_exact_size: int = 16,
         max_exact_variables: int = 24,
+        bounds_budget: int = DEFAULT_BOUND_BUDGET,
     ):
         self.eps = DEFAULT_EPS if eps is None else eps
         self.delta = DEFAULT_DELTA if delta is None else delta
         self.backend = resolve_backend(backend)
         self.max_exact_size = max_exact_size
         self.max_exact_variables = max_exact_variables
+        self.bounds_budget = bounds_budget
         self._exact = ExactDecomposition()
+        self._bounds = DissociationBounds(budget=bounds_budget)
         self._sampler = KarpLuby(self.eps, self.delta, backend=self.backend)
 
     @property
@@ -569,6 +645,7 @@ class AutoStrategy(ConfidenceStrategy):
             self.backend,
             self.max_exact_size,
             self.max_exact_variables,
+            self.bounds_budget,
         )
 
     def choose(self, dnf: Dnf) -> str:
@@ -578,10 +655,12 @@ class AutoStrategy(ConfidenceStrategy):
             return self._exact.name
         if dnf.size <= self.max_exact_size and len(dnf.variables) <= self.max_exact_variables:
             return self._exact.name
+        if dissociation_interval(dnf, self.bounds_budget).is_exact:
+            return self._bounds.name
         return self._sampler.name
 
     def trial_budget(self, dnf: Dnf) -> int:
-        if self.choose(dnf) == self._exact.name:
+        if self.choose(dnf) != self._sampler.name:
             return 0
         return self._sampler.trial_budget(dnf)
 
@@ -594,6 +673,8 @@ class AutoStrategy(ConfidenceStrategy):
             samples=report.samples,
             eps=report.eps,
             delta=report.delta,
+            lower=report.lower,
+            upper=report.upper,
         )
 
     def compute(
@@ -605,6 +686,8 @@ class AutoStrategy(ConfidenceStrategy):
         method = self.choose(dnf)
         if method == self._exact.name:
             return self._rebrand(self._exact.compute(dnf, rng), method)
+        if method == self._bounds.name:
+            return self._rebrand(self._bounds.compute(dnf, rng), method)
         return self._rebrand(
             self._sampler.compute(dnf, rng, executor=executor), method
         )
@@ -627,6 +710,7 @@ class AutoStrategy(ConfidenceStrategy):
         methods = [self.choose(dnf) for dnf in dnfs]
         reports: list[ConfidenceReport | None] = [None] * len(dnfs)
         exact = [i for i, m in enumerate(methods) if m == self._exact.name]
+        bounded = [i for i, m in enumerate(methods) if m == self._bounds.name]
         sampled = [i for i, m in enumerate(methods) if m == self._sampler.name]
         if exact:
             batch = self._exact.compute_batch(
@@ -634,6 +718,12 @@ class AutoStrategy(ConfidenceStrategy):
             )
             for i, report in zip(exact, batch):
                 reports[i] = self._rebrand(report, self._exact.name)
+        if bounded:
+            batch = self._bounds.compute_batch(
+                [dnfs[i] for i in bounded], rng, executor=executor
+            )
+            for i, report in zip(bounded, batch):
+                reports[i] = self._rebrand(report, self._bounds.name)
         if sampled:
             batch = self._sampler.compute_batch(
                 [dnfs[i] for i in sampled], rng, executor=executor

@@ -182,7 +182,12 @@ def decode_rows(rows) -> list[tuple]:
 
 
 def encode_report(report) -> dict:
-    """A :class:`~repro.engine.strategies.ConfidenceReport`, losslessly."""
+    """A :class:`~repro.engine.strategies.ConfidenceReport`, losslessly.
+
+    ``lower``/``upper`` carry the guaranteed dissociation bound interval
+    (exact Fractions, encoded like the value) when the method produced
+    one, ``None`` otherwise.
+    """
     return {
         "value": encode_value(report.value),
         "strategy": report.strategy,
@@ -191,6 +196,8 @@ def encode_report(report) -> dict:
         "samples": report.samples,
         "eps": report.eps,
         "delta": report.delta,
+        "lower": encode_value(report.lower),
+        "upper": encode_value(report.upper),
     }
 
 
@@ -220,6 +227,7 @@ def encode_driver_report(report) -> dict:
         "achieved": report.achieved,
         "delta": report.delta,
         "eps0": report.eps0,
+        "bounds_certified": report.bounds_certified,
     }
 
 

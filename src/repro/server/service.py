@@ -114,7 +114,18 @@ def serve(
     workers: "int | ShardExecutor | None" = None,
     **config,
 ) -> "Server":
-    """Open a :class:`Server` on ``source`` (see :class:`Server` for config)."""
+    """Open a :class:`Server` on ``source`` (see :class:`Server` for config).
+
+    Example::
+
+        from repro.server import serve, Client
+
+        server = serve(coin_database(), workers=2, tenant_quota=1)
+        client = Client(server, tenant="alice")
+        async with await client.open_session(seed=7) as session:
+            reports = await session.confidence_all("T")
+        await server.close()
+    """
     return Server(source, workers=workers, **config)
 
 
@@ -185,6 +196,10 @@ class Server:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed = False
         self._started = time.perf_counter()
+        # Cumulative σ̂ candidates certified by dissociation bounds across
+        # every driver run served — the "sampling we never had to do"
+        # observability counter (surfaced via the stats op).
+        self._bounds_certified = 0
 
     # --------------------------------------------------------------- handle
     async def handle(self, req: dict) -> dict:
@@ -363,11 +378,19 @@ class Server:
             for name in ("delta", "eps0"):
                 if not isinstance(params.get(name), (int, float)):
                     raise ProtocolError(f"evaluate_with_guarantee needs numeric {name!r}")
+            kwargs = {}
+            if "bounds_budget" in params:
+                budget = params["bounds_budget"]
+                if budget is not None and not isinstance(budget, int):
+                    raise ProtocolError("bounds_budget must be an int or None")
+                kwargs["bounds_budget"] = budget
             report = db.evaluate_with_guarantee(
                 self._query_text(params),
                 delta=params["delta"],
                 eps0=params["eps0"],
+                **kwargs,
             )
+            self._bounds_certified += report.bounds_certified
             return encode_driver_report(report)
         if op == "explain":
             return {"text": str(db.explain(self._query_text(params)))}
@@ -390,6 +413,7 @@ class Server:
             },
             "scheduler": self._scheduler.stats(),
             "cache": self._budget.stats(),
+            "driver": {"bounds_certified": self._bounds_certified},
             "executor": {
                 "workers": self._executor.workers,
                 "start_method": self._executor.start_method,
@@ -448,6 +472,15 @@ class Client:
     round-tripped through ``json.dumps``/``json.loads`` first, proving
     nothing relies on shared in-memory objects (the soak tests run this
     mode; a socket front end would serialize exactly these bytes).
+
+    One client serves one tenant; open as many sessions as the server's
+    quota allows::
+
+        client = Client(server, tenant="alice", wire=True)
+        session = await client.open_session(seed=7)
+        await session.query("select[CoinType = 'fair'](Coins)")
+        await session.evaluate_with_guarantee(q, delta=0.05, eps0=0.1)
+        await session.close()      # or: async with await client.open_session()
     """
 
     def __init__(self, server: Server, tenant: str = "default", wire: bool = False):
@@ -499,12 +532,26 @@ class SessionHandle:
             for row, report in result["tuples"]
         }
 
-    async def evaluate_with_guarantee(self, query: str, delta: float, eps0: float) -> dict:
-        """The Theorem 6.7 driver's report, decoded (rows back to tuples)."""
+    async def evaluate_with_guarantee(
+        self,
+        query: str,
+        delta: float,
+        eps0: float,
+        bounds_budget: int | None = ...,
+    ) -> dict:
+        """The Theorem 6.7 driver's report, decoded (rows back to tuples).
+
+        ``bounds_budget`` (when given) is forwarded verbatim; ``0`` turns
+        dissociation-bound pruning off, leaving pure sampling.  Left at
+        the default, the server session's own default applies.
+        """
+        params = {"query": query, "delta": delta, "eps0": eps0}
+        if bounds_budget is not ...:
+            params["bounds_budget"] = bounds_budget
         result = await self._client.call(
             "evaluate_with_guarantee",
             session=self.session_id,
-            params={"query": query, "delta": delta, "eps0": eps0},
+            params=params,
         )
         return decode_value(result)
 

@@ -390,7 +390,9 @@ class TestServerBasics:
             a = await client.open_session(seed=1)
             b = await client.open_session(seed=2)
             slow = asyncio.ensure_future(
-                a.evaluate_with_guarantee(ASELECT, delta=0.1, eps0=0.05)
+                # bounds_budget=0 keeps the job on pure sampling — slow
+                # enough to still hold the worker when the probe arrives.
+                a.evaluate_with_guarantee(ASELECT, delta=0.1, eps0=0.05, bounds_budget=0)
             )
             while server._scheduler.dispatched == 0:  # job reached a thread
                 await asyncio.sleep(0.001)
@@ -418,7 +420,9 @@ class TestServerBasics:
             a = await client.open_session(seed=1)
             b = await client.open_session(seed=2)
             slow = asyncio.ensure_future(
-                a.evaluate_with_guarantee(ASELECT, delta=0.1, eps0=0.05)
+                # bounds_budget=0 keeps the job on pure sampling — slow
+                # enough to still hold the worker when the probe arrives.
+                a.evaluate_with_guarantee(ASELECT, delta=0.1, eps0=0.05, bounds_budget=0)
             )
             while server._scheduler.dispatched == 0:
                 await asyncio.sleep(0.001)
@@ -437,7 +441,9 @@ class TestServerBasics:
             a = await client.open_session(seed=1)
             b = await client.open_session(seed=2)
             slow = asyncio.ensure_future(
-                a.evaluate_with_guarantee(ASELECT, delta=0.1, eps0=0.05)
+                # bounds_budget=0 keeps the job on pure sampling — slow
+                # enough to still hold the worker when the probe arrives.
+                a.evaluate_with_guarantee(ASELECT, delta=0.1, eps0=0.05, bounds_budget=0)
             )
             while server._scheduler.dispatched == 0:
                 await asyncio.sleep(0.001)

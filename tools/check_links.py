@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links in README.md and docs/.
+
+Every relative ``[text](target)`` link must point at an existing file,
+and when the target carries a ``#fragment`` the destination file must
+contain a heading whose GitHub-style slug matches.  External links
+(``http(s)://``, ``mailto:``) are skipped.  Exits non-zero listing every
+broken link, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — but not images' alt text brackets or reference-style
+# definitions; nested parens inside the target (rare) are not supported.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def links_of(path: Path) -> list[str]:
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    text = INLINE_CODE.sub("", text)
+    return [m.group(1) for m in LINK.finditer(text)]
+
+
+def check(files: list[Path]) -> list[str]:
+    errors = []
+    for source in files:
+        for target in links_of(source):
+            if target.startswith(EXTERNAL):
+                continue
+            raw, _, fragment = target.partition("#")
+            dest = source if not raw else (source.parent / raw).resolve()
+            if not dest.is_file():
+                errors.append(f"{source.relative_to(REPO)}: broken link -> {target}")
+                continue
+            if fragment and dest.suffix == ".md" and slugify(fragment) not in anchors_of(dest):
+                errors.append(f"{source.relative_to(REPO)}: missing anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    files = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"missing file: {f}", file=sys.stderr)
+        return 2
+    errors = check(files)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
