@@ -105,6 +105,7 @@ class _EncodedDnf:
     )
 
     def __init__(self, dnf: Dnf, variables: Sequence[Var] | None = None):
+        """Encode ``dnf``; ``variables`` overrides the sorted column order."""
         self.dnf = dnf
         self.variables = (
             sorted(dnf.variables, key=repr) if variables is None else list(variables)
@@ -165,7 +166,7 @@ def _np_satisfaction(enc: _EncodedDnf, block):
 
 
 def _np_karp_luby_block(enc: _EncodedDnf, n: int, nrng) -> int:
-    """Positives among ``n`` Definition 4.1 trials, drawn as one block.
+    """Count positives among ``n`` Definition 4.1 trials, drawn as one block.
 
     Step 1 (member choice ∝ p_f) is an inverse-CDF over the clause
     weights; step 2 (extension sampling) draws the full block and then
@@ -190,7 +191,7 @@ def _np_karp_luby_block(enc: _EncodedDnf, n: int, nrng) -> int:
 
 
 def _np_naive_block(enc: _EncodedDnf, n: int, nrng) -> int:
-    """Worlds (out of ``n`` sampled) satisfying at least one clause."""
+    """Count the worlds (out of ``n`` sampled) satisfying some clause."""
     block = _np_sample_block(enc, n, nrng)
     return int(_np_satisfaction(enc, block).any(axis=1).sum())
 
@@ -246,7 +247,7 @@ def _py_naive_block(enc: _EncodedDnf, n: int, rng: random.Random) -> int:
 
 
 def _karp_luby_trial_block(enc: _EncodedDnf, n: int, seed: int, backend: str) -> int:
-    """Positives among ``n`` Definition 4.1 trials from a seeded block."""
+    """Count positives among ``n`` Definition 4.1 trials from a seeded block."""
     if backend == "numpy":
         return _np_karp_luby_block(enc, n, _np.random.default_rng(seed))
     return _py_karp_luby_block(enc, n, random.Random(seed))
@@ -317,6 +318,7 @@ class BatchKarpLubySampler:
         backend: str | None = None,
         executor: "ShardExecutor | None" = None,
     ):
+        """Set up block sampling for ``dnf`` (backend/executor as in the scalar sampler)."""
         self.dnf = dnf
         self.backend = resolve_backend(backend)
         self.rng = ensure_rng(rng)

@@ -67,8 +67,10 @@ def delta_prime(eps: float, rounds: int) -> float:
 
 
 def rounds_for(eps: float, delta: float) -> int:
-    """Smallest l with δ′(ε, l) ≤ δ: l = ⌈3·ln(2/δ)/ε²⌉ (Theorem 6.7 uses
-    l₀ ≥ 3·log(2·k·d·n^{kd}/δ)/ε₀²)."""
+    """The smallest l with δ′(ε, l) ≤ δ, i.e. l = ⌈3·ln(2/δ)/ε²⌉.
+
+    Theorem 6.7 uses l₀ ≥ 3·log(2·k·d·n^{kd}/δ)/ε₀².
+    """
     if not 0 < eps:
         raise ValueError(f"eps must be positive, got {eps}")
     if not 0 < delta < 1:

@@ -124,9 +124,11 @@ class BoundInterval:
 
     @property
     def width(self) -> Prob:
+        """Interval width ``upper - lower`` (0 means the bound is exact)."""
         return self.upper - self.lower
 
     def __contains__(self, p) -> bool:
+        """Whether probability ``p`` lies inside the interval."""
         return self.lower <= p <= self.upper
 
 
@@ -162,7 +164,7 @@ def dissociation_intervals(
     budget: int = DEFAULT_BOUND_BUDGET,
     executor=None,
 ) -> list[BoundInterval]:
-    """Bounds for a whole batch of disjunctions, sharded when profitable.
+    """Compute bounds for a batch of disjunctions, sharded when profitable.
 
     Bounds draw no randomness, so the executor path needs no shard
     seeds: the DNF list is cut by the worker-count-independent
@@ -198,11 +200,13 @@ class _BoundSolver:
     __slots__ = ("w", "budget", "_memo")
 
     def __init__(self, w: VariableTable, budget: int):
+        """Bind the W table and the node budget the traversal may spend."""
         self.w = w
         self.budget = budget
         self._memo: dict[frozenset[Condition], tuple[Prob, Prob]] = {}
 
     def solve(self, clauses: frozenset[Condition]) -> tuple[Prob, Prob]:
+        """Return (lower, upper) confidence bounds for ``clauses``."""
         if not clauses:
             return Fraction(0), Fraction(0)
         if any(c.is_empty for c in clauses):

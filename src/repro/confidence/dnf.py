@@ -31,6 +31,7 @@ class Dnf:
     __slots__ = ("w", "members", "weights", "_variables", "_bounds")
 
     def __init__(self, conditions: Iterable[Condition], w: VariableTable):
+        """Build the disjunction from ``conditions`` over W table ``w``."""
         self.w = w
         # Lazy per-budget memo for repro.confidence.dissociation — the
         # bound interval is a pure function of (members, W), so repeated
@@ -51,6 +52,7 @@ class Dnf:
 
     # ------------------------------------------------------------- metrics
     def __len__(self) -> int:
+        """The member count |F| (same as :attr:`size`)."""
         return len(self.members)
 
     @property
@@ -60,6 +62,7 @@ class Dnf:
 
     @property
     def variables(self) -> frozenset[Var]:
+        """The variables mentioned by any member condition."""
         return self._variables
 
     @property
@@ -77,7 +80,7 @@ class Dnf:
 
     @property
     def is_trivially_true(self) -> bool:
-        """Contains the empty condition, which every world satisfies."""
+        """Whether F contains the empty condition (every world satisfies it)."""
         return any(f.is_empty for f in self.members)
 
     # ------------------------------------------------------------- semantics
@@ -93,6 +96,7 @@ class Dnf:
         return None
 
     def __repr__(self) -> str:
+        """Summary form; members are intentionally elided (can be huge)."""
         return f"Dnf({len(self.members)} members over {len(self._variables)} vars)"
 
     @staticmethod

@@ -97,10 +97,12 @@ class _Decomposition:
     __slots__ = ("w", "_memo")
 
     def __init__(self, w: VariableTable):
+        """Bind the W table; the memo starts empty."""
         self.w = w
         self._memo: dict[frozenset[Condition], Prob] = {}
 
     def solve(self, clauses: frozenset[Condition]) -> Prob:
+        """The exact probability that some clause in ``clauses`` holds."""
         if not clauses:
             return Fraction(0)
         if any(c.is_empty for c in clauses):
@@ -163,7 +165,7 @@ _SATISFIED = _Satisfied()
 
 def _connected_components(clauses: frozenset[Condition]) -> list[frozenset[Condition]]:
     """Partition clauses into groups sharing no variables (union-find)."""
-    clause_list = list(clauses)
+    clause_list = sorted(clauses, key=repr)
     parent = list(range(len(clause_list)))
 
     def find(i: int) -> int:

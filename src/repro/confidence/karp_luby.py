@@ -72,6 +72,7 @@ class KarpLubySampler:
     """
 
     def __init__(self, dnf: Dnf, rng: random.Random | int | None = None):
+        """Prepare estimation state for ``dnf``; ``rng`` seeds the draws."""
         self.dnf = dnf
         self.rng = ensure_rng(rng)
         self.trials = 0

@@ -211,8 +211,8 @@ class MemoCache:
 
     def __init__(self, maxsize: int | None = 1024):
         self.maxsize = maxsize
-        self._data: OrderedDict = OrderedDict()
-        self.stats = CacheStats()
+        self._data: OrderedDict = OrderedDict()  # detlint: guarded-by(_lock)
+        self.stats = CacheStats()  # detlint: guarded-by(_lock)
         self._lock = threading.Lock()
         self._budget = None
 

@@ -77,17 +77,17 @@ class FairShareScheduler:
         self.tenant_quota = tenant_quota
         self.max_in_flight = max_in_flight
         self.max_queue = max_queue
-        self._queues: dict[str, list[Job]] = {}
-        self._ring: deque[str] = deque()
-        self._running: dict[str, int] = {}
-        self._busy_sessions: set[str] = set()
-        self._in_flight = 0
-        self.submitted = 0
-        self.dispatched = 0
-        self.completed = 0
-        self.rejected = 0
-        self.cancelled = 0
-        self.peak_in_flight = 0
+        self._queues: dict[str, list[Job]] = {}  # detlint: guarded-by(event-loop)
+        self._ring: deque[str] = deque()  # detlint: guarded-by(event-loop)
+        self._running: dict[str, int] = {}  # detlint: guarded-by(event-loop)
+        self._busy_sessions: set[str] = set()  # detlint: guarded-by(event-loop)
+        self._in_flight = 0  # detlint: guarded-by(event-loop)
+        self.submitted = 0  # detlint: guarded-by(event-loop)
+        self.dispatched = 0  # detlint: guarded-by(event-loop)
+        self.completed = 0  # detlint: guarded-by(event-loop)
+        self.rejected = 0  # detlint: guarded-by(event-loop)
+        self.cancelled = 0  # detlint: guarded-by(event-loop)
+        self.peak_in_flight = 0  # detlint: guarded-by(event-loop)
 
     # --------------------------------------------------------------- intake
     def submit(self, job: Job) -> bool:

@@ -96,14 +96,14 @@ class ValueCodec:
     __slots__ = ("values", "index", "has_nonreflexive", "conflation_events", "_lookup")
 
     def __init__(self, seed: Sequence[Value] = ()):
-        self.values: list = []
-        self.index: dict = {}
+        self.values: list = []  # detlint: guarded-by(_CODEC_LOCK)
+        self.index: dict = {}  # detlint: guarded-by(_CODEC_LOCK)
         self._lookup = None  # memoized object ndarray over values
         # True once any coded value is not equal to itself (NaN): dict
         # lookup then uses identity-or-== semantics while the scalar
         # operators use pure ==, so integer-code comparisons must be
         # disabled to keep the two backends setwise identical.
-        self.has_nonreflexive = False
+        self.has_nonreflexive = False  # detlint: guarded-by(_CODEC_LOCK)
         # Incremented whenever a coded value lands in an ==-equality
         # class already holding a *different type* (3 vs 3.0 vs
         # Fraction(3)): decoding such a cell substitutes the canonical
@@ -112,7 +112,7 @@ class ValueCodec:
         # exactness).  Encodes snapshot the counter to learn whether
         # *their* cells are affected — the taint is per relation, not a
         # session-wide kill switch.
-        self.conflation_events = 0
+        self.conflation_events = 0  # detlint: guarded-by(_CODEC_LOCK)
         # Construction is thread-private (the codec is published only
         # after __init__ returns), so seeding bypasses _CODEC_LOCK —
         # which var_codec may already hold around this constructor.
@@ -162,7 +162,7 @@ class ValueCodec:
             self._lookup = arr
         return arr
 
-    def _assign(self, value) -> int:
+    def _assign(self, value) -> int:  # detlint: holds(_CODEC_LOCK)
         """Append ``value`` with a fresh code.  Callers hold the lock
         (or own the codec privately, as during construction); the list
         append is published *before* the index entry so a lock-free

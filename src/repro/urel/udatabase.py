@@ -39,9 +39,9 @@ class UDatabase:
         condition_pool: ConditionPool | None = None,
         columnar_context=None,
     ):
-        self.relations: dict[str, URelation] = dict(relations or {})
+        self.relations: dict[str, URelation] = dict(relations or {})  # detlint: guarded-by(_lock)
         self.w: VariableTable = w if w is not None else VariableTable()
-        self.complete: set[str] = set(complete)
+        self.complete: set[str] = set(complete)  # detlint: guarded-by(_lock)
         # The database-wide intern pool for D-value merges.  Condition
         # algebra never consults W, so pooled entries are pure caches and
         # copies of the database can safely share the pool.
@@ -51,8 +51,8 @@ class UDatabase:
         # Private per database: a context codes against *this* database's
         # W table, and ``copy()`` hands copies their own snapshot rather
         # than sharing mutable coding state across sessions.
-        self.columnar_context = columnar_context
-        self._version = 0
+        self.columnar_context = columnar_context  # detlint: guarded-by(_lock)
+        self._version = 0  # detlint: guarded-by(_lock)
         self._lock = threading.Lock()
         missing = self.complete - set(self.relations)
         if missing:

@@ -51,8 +51,8 @@ class VariableTable:
     __slots__ = ("_vars", "_version", "_lock")
 
     def __init__(self) -> None:
-        self._vars: dict[Var, dict[DomValue, Prob]] = {}
-        self._version = 0
+        self._vars: dict[Var, dict[DomValue, Prob]] = {}  # detlint: guarded-by(_lock)
+        self._version = 0  # detlint: guarded-by(_lock)
         self._lock = threading.RLock()
 
     def __getstate__(self):

@@ -22,6 +22,7 @@ def ensure_rng(rng: random.Random | int | None) -> random.Random:
     integer is used as a seed; an existing generator is returned as-is.
     """
     if rng is None:
+        # detlint: ignore[DET001] rng=None explicitly requests fresh entropy
         return random.Random()
     if isinstance(rng, random.Random):
         return rng

@@ -1,0 +1,10 @@
+# detlint-corpus: expect=DET001 target=src/repro/confidence/_detlint_probe.py
+"""Corpus: draws from the process-global RNG inside a sampling loop."""
+
+import random
+
+
+def sample_trials(n: int) -> list[float]:
+    # Consumes random's module-level generator: results depend on every
+    # other caller and on import order, never on a caller seed.
+    return [random.random() for _ in range(n)]

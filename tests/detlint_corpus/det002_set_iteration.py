@@ -1,0 +1,9 @@
+# detlint-corpus: expect=DET002 target=src/repro/core/_detlint_probe.py
+"""Corpus: frozenset iteration order captured into an output list."""
+
+
+def order_variables(variables: frozenset) -> list:
+    out = []
+    for var in variables:  # hash-seed-dependent order...
+        out.append(var)  # ...captured positionally
+    return out

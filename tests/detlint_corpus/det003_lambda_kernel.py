@@ -1,0 +1,8 @@
+# detlint-corpus: expect=DET003 target=src/repro/core/_detlint_probe.py
+"""Corpus: a lambda shard kernel — unpicklable on the process backend."""
+
+
+def double_all(executor, shards):
+    # Works on the thread backend, explodes under fork/spawn pickling:
+    # exactly the config-dependent breakage DET003 exists to catch.
+    return list(executor.map(lambda shard: [x * 2 for x in shard], shards))

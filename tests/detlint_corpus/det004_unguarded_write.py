@@ -1,0 +1,15 @@
+# detlint-corpus: expect=DET004 target=src/repro/core/_detlint_probe.py
+"""Corpus: rebinding a guarded-by field without taking its lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._entries = {}  # detlint: guarded-by(_lock)
+        self._lock = threading.Lock()
+
+    def replace(self, entries) -> None:
+        # Tears the mapping out from under a concurrent reader that the
+        # declaration promised would always see it under _lock.
+        self._entries = dict(entries)

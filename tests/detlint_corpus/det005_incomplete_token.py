@@ -1,0 +1,13 @@
+# detlint-corpus: expect=DET005 target=src/repro/engine/_detlint_probe.py
+"""Corpus: a cache token that omits a result-affecting parameter."""
+
+
+class TruncatedEstimator:
+    def __init__(self, eps: float, trials: int):
+        self.eps = eps
+        self.trials = trials
+
+    def cache_token(self) -> tuple:
+        # `trials` changes the estimate but not the key: two settings
+        # silently share cache entries.
+        return ("truncated", self.eps)

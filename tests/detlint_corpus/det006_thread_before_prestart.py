@@ -1,0 +1,12 @@
+# detlint-corpus: expect=DET006 target=src/repro/server/_detlint_probe.py
+"""Corpus: thread pool created before the process pool is prestarted."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def boot(executor):
+    # The fork that prestart() performs now happens in a process that
+    # already runs pool threads — the classic fork-after-thread deadlock.
+    pool = ThreadPoolExecutor(max_workers=2)
+    executor.prestart()
+    return pool

@@ -1,0 +1,6 @@
+"""Repo maintenance tooling (not shipped with the library).
+
+``tools.detlint`` is the determinism/concurrency static analyzer run by
+the ``static-analysis`` CI job; ``tools/check_links.py`` validates
+intra-repo markdown links for the ``docs-check`` job.
+"""

@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
 """Check intra-repo markdown links in README.md and docs/.
 
-Every relative ``[text](target)`` link must point at an existing file,
-and when the target carries a ``#fragment`` the destination file must
-contain a heading whose GitHub-style slug matches.  External links
-(``http(s)://``, ``mailto:``) are skipped.  Exits non-zero listing every
-broken link, so CI can gate on it.
+Three link shapes are validated:
+
+* inline ``[text](target)`` links;
+* reference-style ``[text][ref]`` uses — the ``[ref]: url`` definition
+  must exist (case-insensitive, ``[text][]`` collapses to the text) and
+  its URL is checked like any other target;
+* relative ``<a href="...">`` targets in embedded HTML.
+
+Every relative target must point at an existing file, and when it
+carries a ``#fragment`` the destination file must contain a heading
+whose GitHub-style slug matches.  External links (``http(s)://``,
+``mailto:``) are skipped.  Exits non-zero listing every broken link, so
+CI can gate on it.
 """
 
 from __future__ import annotations
@@ -19,6 +27,11 @@ REPO = Path(__file__).resolve().parent.parent
 # [text](target) — but not images' alt text brackets or reference-style
 # definitions; nested parens inside the target (rare) are not supported.
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# [ref]: url definition lines (footnote definitions [^1]: are excluded
+# in code, not the regex) and [text][ref] uses ([text][] collapses).
+REF_DEF = re.compile(r"^ {0,3}\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+REF_USE = re.compile(r"\[([^\]]+)\]\[([^\]]*)\]")
+HTML_HREF = re.compile(r"""<a\s[^>]*href=["']([^"']+)["']""", re.IGNORECASE)
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
 INLINE_CODE = re.compile(r"`[^`\n]*`")
@@ -37,16 +50,37 @@ def anchors_of(path: Path) -> set[str]:
     return {slugify(m.group(1)) for m in HEADING.finditer(text)}
 
 
-def links_of(path: Path) -> list[str]:
+def links_of(path: Path) -> tuple[list[str], list[str]]:
+    """All link targets in ``path``, plus undefined-reference errors."""
     text = FENCE.sub("", path.read_text(encoding="utf-8"))
     text = INLINE_CODE.sub("", text)
-    return [m.group(1) for m in LINK.finditer(text)]
+    targets = [m.group(1) for m in LINK.finditer(text)]
+    defs = {
+        m.group(1).strip().lower(): m.group(2)
+        for m in REF_DEF.finditer(text)
+        if not m.group(1).startswith("^")  # footnotes are not links
+    }
+    errors = []
+    for m in REF_USE.finditer(text):
+        ref = (m.group(2) or m.group(1)).strip().lower()
+        if ref.startswith("^"):
+            continue
+        if ref not in defs:
+            errors.append(f"undefined link reference -> [{ref}]")
+    # Definition URLs are validated whether or not they are used; HTML
+    # anchors are checked only when relative (external ones are skipped
+    # by the caller like any other target).
+    targets.extend(defs.values())
+    targets.extend(m.group(1) for m in HTML_HREF.finditer(text))
+    return targets, errors
 
 
 def check(files: list[Path]) -> list[str]:
     errors = []
     for source in files:
-        for target in links_of(source):
+        targets, ref_errors = links_of(source)
+        errors.extend(f"{source.relative_to(REPO)}: {err}" for err in ref_errors)
+        for target in targets:
             if target.startswith(EXTERNAL):
                 continue
             raw, _, fragment = target.partition("#")

@@ -1,0 +1,70 @@
+"""detlint CLI: ``python -m tools.detlint [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error — so CI can
+distinguish "determinism violations found" from "the linter broke".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.detlint.framework import Finding, all_rules
+from tools.detlint.runner import analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.detlint",
+        description="Determinism linter for the probabilistic-database engine.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tools", "benchmarks"],
+                        help="files or directories to check (default: src tools benchmarks)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (json is the stable detlint/v1 schema)")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="path to detlint.toml (default: <repo-root>/detlint.toml)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repository root for relative paths (default: cwd)")
+    parser.add_argument("--cache", type=Path, default=None,
+                        help="JSON cache file; unchanged files replay cached findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line in text mode")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, cls in all_rules().items():
+            print(f"{rule_id}  [{cls.severity:7s}]  {cls.description}")
+        return 0
+    try:
+        report = analyze_paths(
+            args.paths,
+            repo_root=args.root,
+            config_path=args.config,
+            cache_path=args.cache,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"detlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for data in report["findings"]:
+            print(Finding.from_dict(data).render())
+        if not args.quiet:
+            counts = ", ".join(f"{k}: {v}" for k, v in report["counts"].items()) or "clean"
+            print(f"detlint: {report['files_checked']} files, "
+                  f"{report['total']} findings ({counts})")
+    return 1 if report["total"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

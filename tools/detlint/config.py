@@ -1,0 +1,141 @@
+"""detlint configuration: ``detlint.toml`` loading and per-rule path scoping.
+
+The file is real TOML; on Python >= 3.11 it is read with :mod:`tomllib`.
+For 3.10 (no tomllib, and detlint must not grow dependencies) a minimal
+fallback parser handles the subset the config actually uses: ``[a.b.c]``
+table headers and ``key = value`` pairs where the value is a string, an
+integer, a boolean, or a single-line array of strings.  Keep
+``detlint.toml`` inside that subset.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["Config", "load_config", "parse_toml_subset"]
+
+_HEADER = re.compile(r"^\[([A-Za-z0-9_.\-]+)\]\s*$")
+_KEYVAL = re.compile(r"^([A-Za-z0-9_\-]+)\s*=\s*(.+?)\s*$")
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment that is not inside a quoted string."""
+    out = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        elif ch == "#" and not in_str:
+            break
+        out.append(ch)
+    return "".join(out).strip()
+
+
+def _parse_value(raw: str):
+    if raw == "true":
+        return True
+    if raw == "false":
+        return False
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw.startswith("[") and raw.endswith("]"):
+        body = raw[1:-1].strip()
+        if not body:
+            return []
+        items = []
+        for part in body.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            items.append(_parse_value(part))
+        return items
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"unsupported TOML value in detlint config: {raw!r}") from None
+
+
+def parse_toml_subset(text: str) -> dict:
+    """Parse the TOML subset described in the module docstring."""
+    root: dict = {}
+    table = root
+    lines = iter(enumerate(text.splitlines(), start=1))
+    for lineno, line in lines:
+        line = _strip_comment(line)
+        if not line:
+            continue
+        # Multi-line arrays: join lines until the bracket closes.
+        while line.count("[") > line.count("]") and "=" in line:
+            _, more = next(lines, (None, None))
+            if more is None:
+                raise ValueError(f"line {lineno}: unterminated array")
+            line += " " + _strip_comment(more)
+        header = _HEADER.match(line)
+        if header:
+            table = root
+            for part in header.group(1).split("."):
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise ValueError(f"line {lineno}: table path collides with a value")
+            continue
+        pair = _KEYVAL.match(line)
+        if pair is None:
+            raise ValueError(f"line {lineno}: unparsable config line {line!r}")
+        table[pair.group(1)] = _parse_value(pair.group(2))
+    return root
+
+
+def _load_toml(text: str) -> dict:
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10
+        return parse_toml_subset(text)
+    return tomllib.loads(text)
+
+
+class Config:
+    """Parsed detlint configuration with path-scoping helpers.
+
+    Paths are repo-relative POSIX strings; a rule applies to a file when
+    the file falls under one of the rule's ``paths`` prefixes and under
+    none of its ``exclude`` prefixes.  Rules without a ``paths`` entry
+    apply nowhere (scoping is explicit by design: every rule names the
+    tree it guards).
+    """
+
+    def __init__(self, data: dict, source_text: str = ""):
+        section = data.get("detlint", data)
+        self.data = section
+        self.source_text = source_text
+        self.exclude = list(section.get("exclude", []))
+        self.rules = section.get("rules", {})
+
+    def rule_options(self, rule_id: str) -> dict:
+        options = self.rules.get(rule_id, {})
+        return options if isinstance(options, dict) else {}
+
+    @staticmethod
+    def _under(path: str, prefixes: list[str]) -> bool:
+        return any(path == p or path.startswith(p.rstrip("/") + "/") for p in prefixes)
+
+    def excluded(self, path: str) -> bool:
+        return self._under(path, self.exclude)
+
+    def applies(self, rule_id: str, path: str) -> bool:
+        options = self.rule_options(rule_id)
+        include = options.get("paths", [])
+        if not self._under(path, include):
+            return False
+        return not self._under(path, options.get("exclude", []))
+
+
+def load_config(path: Path | None, repo_root: Path) -> Config:
+    """Load ``detlint.toml`` (explicit path, or the repo-root default)."""
+    candidate = path if path is not None else repo_root / "detlint.toml"
+    if not candidate.is_file():
+        if path is not None:
+            raise FileNotFoundError(f"detlint config not found: {candidate}")
+        return Config({}, "")
+    text = candidate.read_text(encoding="utf-8")
+    return Config(_load_toml(text), text)

@@ -1,0 +1,373 @@
+"""detlint rule framework: findings, registry, suppressions, AST dispatch.
+
+One :class:`Walker` walks each file's AST exactly once, maintaining the
+shared structural context every rule needs (enclosing class/function,
+active ``with <lock>`` blocks, parent links, import aliases) and
+dispatching ``visit_<NodeType>`` methods on every registered rule that
+is in scope for the file.  Rules therefore never re-walk the tree — the
+whole analysis is one parse plus one traversal per file, which is what
+keeps the CI job fast enough to gate every push.
+
+Cross-file facts (``guarded-by`` field declarations and ``holds`` lock
+annotations, used by DET004) are collected in a cheap pre-pass over all
+files (:func:`collect_declarations`) before any rule runs.
+
+Comment conventions understood by the framework:
+
+``# detlint: ignore[DET001] <justification>``
+    Suppress the named rule(s) on this line (or the line below the
+    comment).  The justification is mandatory — an ignore without one is
+    itself a finding (DET000), so suppressions stay auditable.
+
+``# detlint: guarded-by(<lock>)``
+    On a ``self.X = ...`` line inside a class: declares attribute ``X``
+    lock-protected.  ``<lock>`` is an attribute name (``_lock`` means
+    writes must sit inside ``with self._lock``), a module-level name
+    (``_CODEC_LOCK``), or the literal ``event-loop`` (writes allowed
+    only inside the declaring class's own methods — the single-threaded
+    ownership discipline of the scheduler).
+
+``# detlint: holds(<lock>)``
+    On a ``def`` line: the method's contract is "callers hold
+    ``<lock>``" — its body is analyzed as if inside the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "FileContext",
+    "Walker",
+    "Declarations",
+    "collect_declarations",
+    "SEVERITIES",
+]
+
+SEVERITIES = ("warning", "error")
+
+_IGNORE = re.compile(r"detlint:\s*ignore\[([A-Za-z0-9, ]*)\]\s*[-—:]*\s*(.*)")
+_GUARDED = re.compile(r"detlint:\s*guarded-by\(([A-Za-z0-9_\-]+)\)")
+_HOLDS = re.compile(r"detlint:\s*holds\(([A-Za-z0-9_\-]+)\)")
+_DIRECTIVE = re.compile(r"detlint:\s*(\w+)")
+_KNOWN_DIRECTIVES = {"ignore", "guarded-by", "holds"}
+
+
+class Finding:
+    """One diagnostic: a rule violation at a source location."""
+
+    __slots__ = ("rule", "severity", "path", "line", "col", "message")
+
+    def __init__(self, rule: str, severity: str, path: str, line: int, col: int, message: str):
+        self.rule = rule
+        self.severity = severity
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            data["rule"], data["severity"], data["path"],
+            data["line"], data["col"], data["message"],
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+    def __repr__(self) -> str:
+        return f"Finding({self.render()!r})"
+
+
+_RULE_REGISTRY: dict[str, type] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = getattr(cls, "rule_id", None)
+    if not rule_id or rule_id in _RULE_REGISTRY:
+        raise ValueError(f"rule id missing or duplicated: {rule_id!r}")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"{rule_id}: unknown severity {cls.severity!r}")
+    _RULE_REGISTRY[rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type]:
+    """The registered rules, importing the bundled rule modules first."""
+    import tools.detlint.rules  # noqa: F401  (registration side effect)
+
+    return dict(sorted(_RULE_REGISTRY.items()))
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule_id``/``severity``/``description`` and define
+    ``visit_<NodeType>`` methods; one instance is created per (rule,
+    file) pair, so per-file state can live on ``self``.  ``self.walker``
+    exposes the shared traversal context.
+    """
+
+    rule_id = ""
+    severity = "error"
+    description = ""
+
+    def __init__(self, ctx: "FileContext", walker: "Walker"):
+        self.ctx = ctx
+        self.walker = walker
+        self.options = ctx.config.rule_options(self.rule_id)
+
+    def report(self, node: ast.AST | int, message: str, col: int | None = None) -> None:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        if col is None:
+            col = 0 if isinstance(node, int) else getattr(node, "col_offset", 0)
+        if self.ctx.suppressed(line, self.rule_id):
+            return
+        self.ctx.findings.append(
+            Finding(self.rule_id, self.severity, self.ctx.path, line, col, message)
+        )
+
+    def finish(self) -> None:
+        """Hook called once after the walk (for whole-file checks)."""
+
+
+class Declarations:
+    """Repo-wide facts collected before rules run (DET004's inputs).
+
+    ``guarded``: ``{class_name: {attr: lock}}`` — merged across files
+    (class names are unique in this codebase; a collision would merge
+    conservatively, producing more checking, never less).
+    ``holds``: ``{(path, line): lock}`` for ``detlint: holds(...)``
+    annotations, keyed on the ``def`` line.
+    """
+
+    def __init__(self) -> None:
+        self.guarded: dict[str, dict[str, str]] = {}
+        self.holds: dict[tuple[str, int], str] = {}
+
+
+def extract_comments(source: str) -> dict[int, str]:
+    """Map line number -> comment text for every ``#`` comment."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def collect_declarations(path: str, tree: ast.Module, comments: dict[int, str],
+                         decls: Declarations) -> None:
+    """Harvest ``guarded-by``/``holds`` annotations from one file."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            comment = comments.get(node.lineno, "")
+            held = _HOLDS.search(comment)
+            if held:
+                decls.holds[(path, node.lineno)] = held.group(1)
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            comment = comments.get(stmt.lineno, "")
+            guard = _GUARDED.search(comment)
+            if guard is None:
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    decls.guarded.setdefault(node.name, {})[target.attr] = guard.group(1)
+
+
+class FileContext:
+    """Everything rules may need about the file under analysis."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, config, decls: Declarations):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.declarations = decls
+        self.comments = extract_comments(source)
+        self.findings: list[Finding] = []
+        # line -> (set of suppressed rule ids, justification)
+        self.suppressions: dict[int, tuple[set[str], str]] = {}
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        for line, comment in self.comments.items():
+            match = _IGNORE.search(comment)
+            if match is None:
+                directive = _DIRECTIVE.search(comment)
+                if directive and directive.group(1) == "ignore":
+                    # An ignore directive that did not parse (missing
+                    # brackets): misspellings must not silently disable
+                    # checking.
+                    self.findings.append(Finding(
+                        "DET000", "error", self.path, line, 0,
+                        f"malformed ignore comment (use `# detlint: ignore[RULE] why`): "
+                        f"{comment.strip()!r}",
+                    ))
+                elif directive and directive.group(1) not in ("guarded", "holds"):
+                    self.findings.append(Finding(
+                        "DET000", "error", self.path, line, 0,
+                        f"unknown detlint directive in comment: {comment.strip()!r}",
+                    ))
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            justification = match.group(2).strip()
+            if not rules:
+                self.findings.append(Finding(
+                    "DET000", "error", self.path, line, 0,
+                    "ignore[] names no rule",
+                ))
+                continue
+            if not justification:
+                self.findings.append(Finding(
+                    "DET000", "error", self.path, line, 0,
+                    f"suppression of {', '.join(sorted(rules))} carries no justification "
+                    "(write `# detlint: ignore[RULE] <why this is safe>`)",
+                ))
+            self.suppressions[line] = (rules, justification)
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """Is ``rule_id`` suppressed on ``line`` (same line or line above)?"""
+        for probe in (line, line - 1):
+            entry = self.suppressions.get(probe)
+            if entry and rule_id in entry[0]:
+                return True
+        return False
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Walker:
+    """One traversal, shared structural context, multi-rule dispatch."""
+
+    def __init__(self, ctx: FileContext, rules: list[Rule]):
+        self.ctx = ctx
+        self.rules = rules
+        self.class_stack: list[ast.ClassDef] = []
+        self.func_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self.with_locks: list[str] = []
+        self.parents: dict[ast.AST, ast.AST] = {}
+        # import alias -> real module path ("np" -> "numpy"); from-imports
+        # map the bound name to "module.original".
+        self.imports: dict[str, str] = {}
+        self._dispatch: dict[type, list] = {}
+
+    # ------------------------------------------------------------ context
+    @property
+    def current_class(self) -> ast.ClassDef | None:
+        return self.class_stack[-1] if self.class_stack else None
+
+    @property
+    def current_function(self):
+        return self.func_stack[-1] if self.func_stack else None
+
+    def holding(self, lock: str) -> bool:
+        """Is a ``with`` block over ``lock`` (or a holds() contract) active?"""
+        for held in self.with_locks:
+            if held == lock or held.endswith("." + lock):
+                return True
+        for func in self.func_stack:
+            if self.ctx.declarations.holds.get((self.ctx.path, func.lineno)) == lock:
+                return True
+        return False
+
+    def resolve(self, name: str) -> str | None:
+        """The imported module / qualified name a bare name refers to."""
+        return self.imports.get(name)
+
+    # ----------------------------------------------------------- dispatch
+    def _handlers(self, node_type: type) -> list:
+        handlers = self._dispatch.get(node_type)
+        if handlers is None:
+            method = "visit_" + node_type.__name__
+            handlers = [getattr(r, method) for r in self.rules if hasattr(r, method)]
+            self._dispatch[node_type] = handlers
+        return handlers
+
+    def run(self) -> None:
+        self._track_imports(self.ctx.tree)
+        self._walk(self.ctx.tree)
+        for rule in self.rules:
+            rule.finish()
+
+    def _track_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def _walk(self, node: ast.AST) -> None:
+        for handler in self._handlers(type(node)):
+            handler(node)
+        is_class = isinstance(node, ast.ClassDef)
+        is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        is_with = isinstance(node, (ast.With, ast.AsyncWith))
+        if is_class:
+            self.class_stack.append(node)
+        if is_func:
+            self.func_stack.append(node)
+        pushed = 0
+        if is_with:
+            for item in node.items:
+                name = dotted_name(item.context_expr)
+                if name is None and isinstance(item.context_expr, ast.Call):
+                    name = dotted_name(item.context_expr.func)
+                if name is not None:
+                    self.with_locks.append(name)
+                    pushed += 1
+        for child in ast.iter_child_nodes(node):
+            self.parents[child] = node
+            self._walk(child)
+        if pushed:
+            del self.with_locks[-pushed:]
+        if is_func:
+            self.func_stack.pop()
+        if is_class:
+            self.class_stack.pop()

@@ -1,0 +1,110 @@
+"""DET001 — unseeded randomness / wall-clock reads in deterministic code.
+
+The determinism contract demands that every random draw be a pure
+function of a caller-supplied seed: stochastic components accept a
+``random.Random`` (or derive one via ``shard_seed``/``spawn_shard_rng``
+per shard index).  Three bug classes violate that:
+
+* module-level ``random.*`` functions — they consume the process-global
+  generator, whose state depends on import order and every other caller;
+* NumPy global-state randomness (``np.random.rand`` etc.) and unseeded
+  constructors (``np.random.default_rng()`` with no seed,
+  ``random.Random()`` with no arguments);
+* wall-clock reads (``time.time``, ``perf_counter``, ``datetime.now``)
+  flowing into computed values.  Timing *instrumentation* is legitimate
+  — scope it out with the ``wall-clock-ok`` path list.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.detlint.framework import Rule, dotted_name, register_rule
+
+_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "uniform", "triangular", "betavariate",
+    "binomialvariate", "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "choice", "choices", "shuffle", "sample", "getrandbits", "randbytes",
+    "seed", "setstate",
+})
+
+# numpy.random names that are fine *when seeded* (flagged only if
+# called with no arguments); everything else under numpy.random is
+# global-state by construction.
+_NP_SEEDED_OK = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64",
+                           "Philox", "MT19937", "RandomState"})
+
+_TIME_FUNCS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+})
+
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule
+class UnseededRandomness(Rule):
+    """Flag nondeterministic entropy sources in deterministic modules."""
+
+    rule_id = "DET001"
+    severity = "error"
+    description = "unseeded randomness or wall-clock read in a deterministic module"
+
+    def _qualified(self, func: ast.AST) -> str | None:
+        """Resolve the called name through import aliases.
+
+        ``np.random.rand`` -> ``numpy.random.rand``;
+        ``from random import shuffle; shuffle`` -> ``random.shuffle``.
+        """
+        name = dotted_name(func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        real = self.walker.resolve(head)
+        if real is not None:
+            name = f"{real}.{rest}" if rest else real
+        return name
+
+    def _wall_clock_ok(self) -> bool:
+        paths = self.options.get("wall-clock-ok", [])
+        return self.ctx.config._under(self.ctx.path, paths)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._qualified(node.func)
+        if name is None:
+            return
+        if name.startswith("random."):
+            attr = name[len("random."):]
+            if attr in _RANDOM_FUNCS:
+                self.report(node, (
+                    f"random.{attr}() draws from the process-global generator; "
+                    "accept a seeded random.Random (see repro.util.rng) instead"
+                ))
+            elif attr == "Random" and not node.args:
+                self.report(node, (
+                    "random.Random() with no seed is nondeterministic; derive the "
+                    "stream via shard_seed()/spawn_shard_rng() or a caller seed"
+                ))
+        elif name.startswith("numpy.random."):
+            attr = name.rsplit(".", 1)[1]
+            if attr in _NP_SEEDED_OK:
+                if not node.args and not node.keywords:
+                    self.report(node, (
+                        f"numpy.random.{attr}() without a seed is nondeterministic; "
+                        "seed it from the session stream (rng.getrandbits(64))"
+                    ))
+            else:
+                self.report(node, (
+                    f"numpy.random.{attr} uses NumPy's global RNG state; use a "
+                    "seeded numpy.random.default_rng(seed) generator"
+                ))
+        elif name in _TIME_FUNCS or name.rsplit(".", 1)[-1] in _DATETIME_ATTRS and (
+            "datetime" in name or name.startswith("date.")
+        ):
+            if not self._wall_clock_ok():
+                self.report(node, (
+                    f"{name}() reads the wall clock; deterministic code must not "
+                    "let real time flow into values (instrumentation-only modules "
+                    "belong in this rule's wall-clock-ok list)"
+                ))

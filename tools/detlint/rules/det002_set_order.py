@@ -1,0 +1,297 @@
+"""DET002 — set/frozenset iteration order escaping into ordered output.
+
+``set``/``frozenset`` iteration order depends on ``PYTHONHASHSEED`` (and
+on insertion history), so any code path that lets it reach output rows,
+cache keys, task lists, or RNG consumption produces answers that differ
+across processes — exactly the class of bug the cross-worker
+differential harness exists to catch hours later.  The sanctioned fix is
+an intervening ``sorted(..., key=repr)``.
+
+The rule tracks *orderedness* per expression:
+
+* unordered: set literals/comprehensions, ``set()``/``frozenset()``
+  calls, set operators (``|  &  -  ^``) over unordered operands,
+  parameters/variables annotated ``set[...]``/``frozenset[...]``, locals
+  assigned from any of these, and attributes named in the configured
+  ``set-returning-attrs`` list (e.g. ``.variables``) — unless the
+  enclosing class assigns that attribute from ``sorted``/``list``/
+  ``tuple`` (then it is ordered, whatever its name);
+* ordered: ``sorted(...)``, ``list(...)``, ``tuple(...)`` results.
+
+It flags unordered iterables in order-*capturing* positions only —
+``list``/``tuple``/``enumerate``/``iter``/``map``/``filter``/``zip``/
+``reversed``/``sum``/``str.join`` arguments, list/dict comprehensions,
+generator expressions feeding anything but an order-insensitive consumer
+(``any``/``all``/``min``/``max``/``set``/``frozenset``/``sorted``),
+``*`` unpacking, and ``for`` loops whose body captures order (``yield``,
+``.append``/``.extend``/``.insert``, or an RNG draw per element).
+Membership tests, ``len``, set-typed accumulation, and ``for`` bodies
+that only build sets/dicts or delete keys are order-insensitive and stay
+clean — that precision is what lets the rule run in fail-on-findings
+mode.  (``dict`` iteration is insertion-ordered in Python and therefore
+deterministic once every *insertion* site is — those sites are the ones
+this rule checks.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.detlint.framework import Rule, register_rule
+
+ORDERED, UNORDERED, UNKNOWN = "ordered", "unordered", "unknown"
+
+_ORDERING_CALLS = frozenset({"sorted", "list", "tuple"})
+_UNORDERED_CALLS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+_CAPTURE_CALLS = frozenset({
+    "list", "tuple", "enumerate", "iter", "map", "filter", "zip", "reversed", "sum",
+})
+_SAFE_GENEXP_CONSUMERS = frozenset({
+    "any", "all", "min", "max", "set", "frozenset", "sorted", "len",
+})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_CAPTURE_METHODS = frozenset({"append", "extend", "insert", "appendleft", "write"})
+_RNG_METHODS = frozenset({
+    "random", "getrandbits", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform",
+})
+
+
+def _annotation_unordered(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    return isinstance(annotation, ast.Name) and annotation.id in _UNORDERED_CALLS
+
+
+@register_rule
+class SetIterationOrder(Rule):
+    """Flag hash-order-dependent iteration that escapes into ordered output."""
+
+    rule_id = "DET002"
+    severity = "warning"
+    description = "set/frozenset iteration order can reach ordered output"
+
+    def visit_Module(self, module: ast.Module) -> None:
+        self.set_attrs = frozenset(self.options.get("set-returning-attrs", []))
+        self._scope(module.body, {}, {})
+
+    # -------------------------------------------------------- scope walking
+    def _scope(self, body: list[ast.stmt], env: dict, class_attrs: dict) -> None:
+        """Analyze one scope's statements in source order."""
+        for stmt in body:
+            self._statement(stmt, env, class_attrs)
+
+    def _statement(self, stmt: ast.stmt, env: dict, class_attrs: dict) -> None:
+        if isinstance(stmt, ast.ClassDef):
+            attrs = self._class_attr_orderedness(stmt)
+            for inner in stmt.body:
+                self._statement(inner, {}, attrs)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn_env: dict = {}
+            args = stmt.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if _annotation_unordered(arg.annotation):
+                    fn_env[arg.arg] = UNORDERED
+            self._scope(stmt.body, fn_env, class_attrs)
+            return
+        # Expression-level escapes anywhere in this statement, with the
+        # environment as it stands *before* the statement's bindings.
+        self._check_expressions(stmt, env, class_attrs)
+        # Sequential local binding (last assignment wins).
+        if isinstance(stmt, ast.Assign):
+            kind = self._classify(stmt.value, env, class_attrs)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = kind
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _annotation_unordered(stmt.annotation):
+                env[stmt.target.id] = UNORDERED
+            elif stmt.value is not None:
+                env[stmt.target.id] = self._classify(stmt.value, env, class_attrs)
+        elif isinstance(stmt, ast.For):
+            for name in ast.walk(stmt.target):
+                if isinstance(name, ast.Name):
+                    env[name.id] = UNKNOWN
+        # Recurse into compound statement bodies with the same env (an
+        # approximation: branches merge by last-writer-wins, which is
+        # fine for a linter that only needs orderedness hints).
+        for field in ("body", "orelse", "finalbody", "handlers"):
+            children = getattr(stmt, field, None)
+            if not children:
+                continue
+            for child in children:
+                if isinstance(child, ast.ExceptHandler):
+                    self._scope(child.body, env, class_attrs)
+                else:
+                    self._statement(child, env, class_attrs)
+
+    def _class_attr_orderedness(self, cls: ast.ClassDef) -> dict:
+        """``self.X`` orderedness per attribute, merged across methods."""
+        attrs: dict[str, str] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                kind = self._classify(value, {}, {})
+                if isinstance(node, ast.AnnAssign) and _annotation_unordered(node.annotation):
+                    kind = UNORDERED
+                seen = attrs.get(target.attr)
+                if seen is None:
+                    attrs[target.attr] = kind
+                elif seen != kind:
+                    attrs[target.attr] = UNKNOWN
+        return attrs
+
+    # ------------------------------------------------------- classification
+    def _classify(self, expr: ast.AST, env: dict, class_attrs: dict) -> str:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return UNORDERED
+        if isinstance(expr, (ast.List, ast.Tuple, ast.ListComp)):
+            return ORDERED
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.IfExp):
+            kinds = {
+                self._classify(expr.body, env, class_attrs),
+                self._classify(expr.orelse, env, class_attrs),
+            }
+            if UNORDERED in kinds:
+                return UNORDERED
+            return ORDERED if kinds == {ORDERED} else UNKNOWN
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+            if UNORDERED in (
+                self._classify(expr.left, env, class_attrs),
+                self._classify(expr.right, env, class_attrs),
+            ):
+                return UNORDERED
+            return UNKNOWN
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                known = class_attrs.get(expr.attr)
+                if known is not None and known != UNKNOWN:
+                    return known
+            if expr.attr in self.set_attrs:
+                return UNORDERED
+            return UNKNOWN
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                if func.id in _UNORDERED_CALLS:
+                    return UNORDERED
+                if func.id in _ORDERING_CALLS:
+                    return ORDERED
+                if func.id == "enumerate" and expr.args:
+                    return self._classify(expr.args[0], env, class_attrs)
+            elif isinstance(func, ast.Attribute):
+                if func.attr in self.set_attrs:
+                    return UNORDERED
+                if func.attr in _SET_METHODS:
+                    return self._classify(func.value, env, class_attrs)
+        return UNKNOWN
+
+    # -------------------------------------------------------------- escapes
+    def _check_expressions(self, stmt: ast.stmt, env: dict, class_attrs: dict) -> None:
+        parents: dict[ast.AST, ast.AST] = {}
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # handled as their own scopes
+            if node is not stmt and isinstance(node, ast.stmt):
+                continue  # compound bodies are handled by _statement
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+                stack.append(child)
+            self._check_node(node, env, class_attrs, parents)
+
+    def _unordered(self, expr: ast.AST, env: dict, class_attrs: dict) -> bool:
+        return self._classify(expr, env, class_attrs) == UNORDERED
+
+    def _check_node(self, node: ast.AST, env: dict, class_attrs: dict, parents: dict) -> None:
+        if isinstance(node, ast.Call):
+            func = node.func
+            capture = None
+            if isinstance(func, ast.Name) and func.id in _CAPTURE_CALLS:
+                capture = func.id
+            elif isinstance(func, ast.Attribute) and func.attr == "join":
+                capture = "join"
+            if capture:
+                for arg in node.args:
+                    if self._unordered(arg, env, class_attrs):
+                        self.report(node, (
+                            f"{capture}(...) captures set/frozenset iteration order, "
+                            "which depends on the hash seed; sort first "
+                            "(sorted(..., key=repr))"
+                        ))
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            flagged = any(
+                self._unordered(gen.iter, env, class_attrs) for gen in node.generators
+            )
+            if not flagged:
+                return
+            if isinstance(node, ast.GeneratorExp):
+                parent = parents.get(node)
+                if (
+                    isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id in _SAFE_GENEXP_CONSUMERS
+                ):
+                    return
+            shape = "comprehension" if not isinstance(node, ast.GeneratorExp) else "generator"
+            self.report(node, (
+                f"{shape} iterates a set/frozenset into an order-sensitive "
+                "consumer; its order depends on the hash seed — sort first"
+            ))
+        elif isinstance(node, ast.Starred):
+            if self._unordered(node.value, env, class_attrs):
+                self.report(node, (
+                    "*-unpacking a set/frozenset captures hash-seed-dependent "
+                    "order; sort first"
+                ))
+        elif isinstance(node, ast.For):
+            if self._unordered(node.iter, env, class_attrs):
+                trigger = self._order_capture_in_body(node.body)
+                if trigger:
+                    self.report(node, (
+                        f"for-loop over a set/frozenset {trigger}; iteration order "
+                        "depends on the hash seed — iterate sorted(..., key=repr)"
+                    ))
+
+    @staticmethod
+    def _order_capture_in_body(body: list[ast.stmt]) -> str | None:
+        """Why the loop body is order-sensitive, or ``None`` if it is not."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yields per element (order reaches the consumer)"
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _CAPTURE_METHODS:
+                    return f"builds a sequence via .{node.func.attr}()"
+                if node.func.attr in _RNG_METHODS:
+                    return (
+                        f"draws randomness per element (.{node.func.attr}()), "
+                        "coupling the RNG stream to iteration order"
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+        return None

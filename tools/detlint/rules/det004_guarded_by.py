@@ -1,0 +1,116 @@
+"""DET004 — writes to ``guarded-by`` fields outside their lock.
+
+Classes declare their concurrency discipline inline::
+
+    self._data = OrderedDict()  # detlint: guarded-by(_lock)
+
+and every subsequent ``self._data = ...`` / ``self._data += ...`` must
+sit inside ``with self._lock`` (or inside a method whose ``def`` line
+carries ``# detlint: holds(_lock)``, the callers-hold contract used by
+``ValueCodec._assign``).  The lock may also be a module-level name
+(``_CODEC_LOCK``) or the literal ``event-loop``: the ownership
+discipline of components that are deliberately lock-free because a
+single event loop owns them (``FairShareScheduler``) — writes are then
+legal only inside the declaring class's own methods.
+
+Constructor-family methods (``__init__``, ``__new__``, ``__setstate__``)
+are exempt: the object is thread-private until construction returns.
+
+Cross-instance writes (``self._scheduler._ring = ...`` from another
+class) are resolved through the rule's ``instances`` option, a mapping
+of attribute name -> declaring class, and are flagged under the same
+discipline — for ``event-loop`` fields they are *always* a violation.
+
+Declarations are collected repo-wide in a pre-pass, so a helper file
+mutating another module's guarded state is still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.detlint.framework import Rule, register_rule
+
+_CONSTRUCTION = frozenset({"__init__", "__new__", "__setstate__"})
+_EVENT_LOOP = "event-loop"
+
+
+@register_rule
+class GuardedFieldWrites(Rule):
+    """Flag guarded-field writes performed outside the declared lock."""
+
+    rule_id = "DET004"
+    severity = "error"
+    description = "write to a guarded-by field outside its lock"
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+
+    def _check_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            self._check_self_write(target)
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            self._check_instance_write(target, base.attr)
+
+    def _check_self_write(self, target: ast.Attribute) -> None:
+        cls = self.walker.current_class
+        if cls is None:
+            return
+        lock = self.ctx.declarations.guarded.get(cls.name, {}).get(target.attr)
+        if lock is None:
+            return
+        func = self.walker.current_function
+        if func is not None and func.name in _CONSTRUCTION:
+            return
+        if lock == _EVENT_LOOP:
+            # Any method of the declaring class is the event loop's own
+            # code path; only foreign writes (below) can violate this.
+            return
+        if self.walker.holding(lock):
+            return
+        self.report(target, (
+            f"{cls.name}.{target.attr} is declared guarded-by({lock}) but this "
+            f"write is outside `with {lock}` (add the with-block, or annotate "
+            f"the method `# detlint: holds({lock})` if callers hold it)"
+        ))
+
+    def _check_instance_write(self, target: ast.Attribute, holder_attr: str) -> None:
+        instances = self.options.get("instances", {})
+        declaring = instances.get(holder_attr)
+        if not isinstance(declaring, str):
+            return
+        lock = self.ctx.declarations.guarded.get(declaring, {}).get(target.attr)
+        if lock is None:
+            return
+        if lock == _EVENT_LOOP:
+            self.report(target, (
+                f"{declaring}.{target.attr} is event-loop-owned; writing it from "
+                f"outside {declaring}'s own methods breaks the single-owner "
+                "discipline — add a method on the owner instead"
+            ))
+            return
+        if self.walker.holding(lock):
+            return
+        self.report(target, (
+            f"{declaring}.{target.attr} is declared guarded-by({lock}) but this "
+            f"cross-instance write is outside `with {lock}`"
+        ))

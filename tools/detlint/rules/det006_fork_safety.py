@@ -1,0 +1,98 @@
+"""DET006 — threads must not exist before the process pool does.
+
+On Linux the default multiprocessing start method is ``fork``, and
+forking a process that already runs threads copies a child whose locks
+may be held by threads that do not exist there — the classic
+fork-after-thread deadlock.  The server therefore calls
+``ShardExecutor.prestart()`` (which forks the worker pool) *before*
+creating any ``ThreadPoolExecutor`` or ``threading.Thread``.
+
+The rule enforces that ordering per function scope in server code:
+within one function body (nested defs excluded — they run later, after
+construction), any thread-creating call whose line precedes a
+``.prestart()`` call in the same scope is flagged.  Scopes that create
+threads but never touch the pool carry no ordering obligation (threads
+started after construction are safe); modules with no prestart call at
+all are skipped entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.detlint.framework import Rule, dotted_name, register_rule
+
+_THREAD_FACTORIES = frozenset({
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+    "threading.Thread",
+    "threading.Timer",
+})
+
+
+@register_rule
+class ForkSafety(Rule):
+    """Flag thread creation that precedes process-pool prestart()."""
+
+    rule_id = "DET006"
+    severity = "error"
+    description = "thread created before the process pool is prestarted"
+
+    def _qualified(self, func: ast.AST) -> str | None:
+        name = dotted_name(func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        real = self.walker.resolve(head)
+        if real is not None:
+            name = f"{real}.{rest}" if rest else real
+        return name
+
+    def _module_has_prestart(self) -> bool:
+        if not hasattr(self, "_prestart_somewhere"):
+            self._prestart_somewhere = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "prestart"
+                for node in ast.walk(self.ctx.tree)
+            )
+        return self._prestart_somewhere
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_scope(node.body)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_scope(node.body)
+
+    def _check_scope(self, body: list[ast.stmt]) -> None:
+        if not self._module_has_prestart():
+            return
+        events: list[tuple[int, str, ast.Call]] = []
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute) and node.func.attr == "prestart":
+                    events.append((node.lineno, "prestart", node))
+                else:
+                    name = self._qualified(node.func)
+                    if name in _THREAD_FACTORIES:
+                        events.append((node.lineno, "thread", node))
+            stack.extend(ast.iter_child_nodes(node))
+        if not any(kind == "thread" for _, kind, _ in events):
+            return
+        if not any(kind == "prestart" for _, kind, _ in events):
+            return  # this scope never touches the pool; no ordering to enforce
+        events.sort(key=lambda e: e[0])
+        prestarted = False
+        for _, kind, call in events:
+            if kind == "prestart":
+                prestarted = True
+            elif not prestarted:
+                self.report(call, (
+                    "thread created before the process pool is prestarted; "
+                    "forking after threads exist can deadlock the children — "
+                    "call executor.prestart() first, then start threads"
+                ))

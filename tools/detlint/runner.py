@@ -1,0 +1,184 @@
+"""detlint orchestration: discovery, caching, analysis, report building.
+
+The analysis itself is one parse plus one traversal per file; the
+expensive part at CI scale is doing that for files that have not changed
+since the last run.  ``analyze_paths`` therefore keeps a JSON cache of
+per-file findings keyed on the SHA-256 of the file's *source* plus a
+global key covering the analyzer's own sources, the configuration, and
+the repo-wide declaration set (DET004's guarded-by facts can change a
+file's findings without that file changing, so they are part of the
+key).  A cache hit replays recorded findings without re-walking the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from tools.detlint.config import Config, load_config
+from tools.detlint.framework import (
+    Declarations,
+    FileContext,
+    Finding,
+    Walker,
+    all_rules,
+    collect_declarations,
+    extract_comments,
+)
+
+__all__ = ["analyze_paths", "analyze_source", "discover_files"]
+
+ANALYZER_VERSION = "1.0.0"
+SCHEMA = "detlint/v1"
+
+
+def discover_files(paths: list[str], repo_root: Path, config: Config) -> list[Path]:
+    """Resolve the CLI path arguments to a sorted list of .py files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        target = (repo_root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if target.is_file() and target.suffix == ".py":
+            seen.add(target)
+            continue
+        if not target.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in target.rglob("*.py"):
+            if "__pycache__" in candidate.parts:
+                continue
+            seen.add(candidate)
+    out = []
+    for path in sorted(seen):
+        rel = _relpath(path, repo_root)
+        if not config.excluded(rel):
+            out.append(path)
+    return out
+
+
+def _relpath(path: Path, repo_root: Path) -> str:
+    try:
+        return path.resolve().relative_to(repo_root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_source(rel_path: str, source: str, config: Config,
+                   decls: Declarations) -> list[Finding]:
+    """Analyze one file's source text; returns sorted findings."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("DET000", "error", rel_path, exc.lineno or 1, 0,
+                        f"syntax error: {exc.msg}")]
+    ctx = FileContext(rel_path, source, tree, config, decls)
+    rules = [
+        cls(ctx, None)  # walker attached below
+        for rule_id, cls in all_rules().items()
+        if config.applies(rule_id, rel_path)
+    ]
+    walker = Walker(ctx, rules)
+    for rule in rules:
+        rule.walker = walker
+    walker.run()
+    return sorted(ctx.findings, key=Finding.sort_key)
+
+
+def _analyzer_digest() -> str:
+    """Hash of detlint's own sources — cache poison-pill on any edit."""
+    digest = hashlib.sha256(ANALYZER_VERSION.encode())
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.rglob("*.py")):
+        digest.update(source.as_posix().encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def _global_key(config: Config, decls: Declarations) -> str:
+    payload = json.dumps({
+        "analyzer": _analyzer_digest(),
+        "config": config.source_text,
+        "guarded": {k: dict(sorted(v.items())) for k, v in sorted(decls.guarded.items())},
+        "holds": {f"{p}:{line}": lock for (p, line), lock in sorted(decls.holds.items())},
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _load_cache(cache_path: Path | None, global_key: str) -> dict:
+    if cache_path is None or not cache_path.is_file():
+        return {}
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if data.get("schema") != SCHEMA or data.get("global_key") != global_key:
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(cache_path: Path | None, global_key: str, files: dict) -> None:
+    if cache_path is None:
+        return
+    payload = {"schema": SCHEMA, "global_key": global_key, "files": files}
+    try:
+        cache_path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    except OSError:
+        pass  # a broken cache only costs time, never correctness
+
+
+def analyze_paths(paths: list[str], repo_root: Path | None = None,
+                  config_path: Path | None = None,
+                  cache_path: Path | None = None) -> dict:
+    """Run detlint over ``paths`` and build the ``detlint/v1`` report."""
+    root = (repo_root or Path.cwd()).resolve()
+    config = load_config(config_path, root)
+    files = discover_files(paths, root, config)
+
+    # Declarations pre-pass: always over every file (cheap — parse only),
+    # because DET004 findings in file A depend on annotations in file B.
+    decls = Declarations()
+    sources: dict[Path, str] = {}
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        sources[path] = source
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue  # analyze_source reports this per-file
+        collect_declarations(_relpath(path, root), tree, extract_comments(source), decls)
+
+    global_key = _global_key(config, decls)
+    cache = _load_cache(cache_path, global_key)
+    new_cache: dict[str, list] = {}
+
+    findings: list[Finding] = []
+    hits = 0
+    for path in files:
+        rel = _relpath(path, root)
+        source = sources[path]
+        digest = hashlib.sha256(source.encode()).hexdigest()
+        cached = cache.get(digest)
+        if cached is not None:
+            hits += 1
+            file_findings = [Finding.from_dict(d) for d in cached]
+        else:
+            file_findings = analyze_source(rel, source, config, decls)
+        new_cache[digest] = [f.as_dict() for f in file_findings]
+        findings.extend(file_findings)
+
+    _save_cache(cache_path, global_key, new_cache)
+
+    findings.sort(key=Finding.sort_key)
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "schema": SCHEMA,
+        "version": ANALYZER_VERSION,
+        "files_checked": len(files),
+        "cache_hits": hits,
+        "findings": [f.as_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+    }
