@@ -39,6 +39,7 @@ from repro.core.singularity import (
     is_singularity_by_corners,
     singularity_radius,
 )
+from repro.core.topk import TopKEntry, TopKReport, race_topk
 from repro.core.unreliability import (
     UnreliableTuple,
     example_63_modeled_probability,
@@ -94,6 +95,9 @@ __all__ = [
     "proposition_66_bound",
     "DriverReport",
     "evaluate_with_guarantee",
+    "TopKEntry",
+    "TopKReport",
+    "race_topk",
     "UnreliableTuple",
     "unreliable_relation_as_uncertain",
     "example_63_true_probability",

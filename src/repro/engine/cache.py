@@ -95,11 +95,13 @@ def approx_size(obj, max_nodes: int = _SIZE_NODE_CAP) -> int:
     A best-effort recursive ``sys.getsizeof`` walk: containers and
     object ``__dict__``/``__slots__`` attributes are followed, shared
     subobjects are counted once *per call* (id-memoized), and traversal
-    stops after ``max_nodes`` objects.  NumPy arrays report their
-    buffer through ``getsizeof`` already.  The result is an estimate —
-    interned conditions shared between entries are charged to each
-    entry — which is exactly what a fairness-oriented budget wants:
-    every entry pays for what it keeps alive.
+    counts at most ``max(1, max_nodes)`` objects — the cap is inclusive
+    (the object that reaches it is still counted), and the root is
+    always counted, so no value ever reports 0 bytes.  NumPy arrays
+    report their buffer through ``getsizeof`` already.  The result is
+    an estimate — interned conditions shared between entries are
+    charged to each entry — which is exactly what a fairness-oriented
+    budget wants: every entry pays for what it keeps alive.
     """
     seen: set[int] = set()
     stack = [obj]
@@ -111,13 +113,13 @@ def approx_size(obj, max_nodes: int = _SIZE_NODE_CAP) -> int:
         if oid in seen:
             continue
         seen.add(oid)
-        budget -= 1
-        if budget < 0:
-            break
         try:
             total += sys.getsizeof(o)
         except TypeError:  # pragma: no cover - exotic getsizeof overrides
             total += 64
+        budget -= 1
+        if budget <= 0:
+            break
         if isinstance(o, _ATOMIC):
             continue
         if isinstance(o, dict):
@@ -227,8 +229,15 @@ class MemoCache:
             return self.stats.approx_bytes
 
     def set_budget(self, budget) -> None:
-        """Attach/detach the global budget poked after growing puts."""
-        self._budget = budget
+        """Attach/detach the global budget poked after growing puts.
+
+        Synchronized with :meth:`put`'s read of the attachment: a put
+        that starts after a detach returns can never poke the old
+        budget (see :meth:`~repro.server.budget.CacheBudget.unregister`
+        for the ordering that makes in-flight pokes harmless too).
+        """
+        with self._lock:
+            self._budget = budget
 
     def get(self, key):
         """The cached value, or ``None`` (misses are counted)."""
@@ -261,7 +270,12 @@ class MemoCache:
             self._data[key] = _Entry(value, nbytes, _next_tick(), volatile)
             self.stats.approx_bytes += nbytes
             self.stats.entries = len(self._data)
-        budget = self._budget
+            # Read the attachment under the same lock set_budget writes
+            # it: a put racing a detach either sees None (no poke) or
+            # the budget it was attached to at insertion time.  The
+            # poke itself stays outside the lock (ordering is always
+            # budget lock → cache lock, never the reverse).
+            budget = self._budget
         if budget is not None:
             budget.rebalance()
 
@@ -277,15 +291,27 @@ class MemoCache:
                     return entry.tick
             return None
 
-    def evict_lru(self) -> int:
-        """Evict the least-recent non-volatile entry; bytes freed (0 = none)."""
+    def evict_lru(self, expected_tick: int | None = None) -> int:
+        """Evict the least-recent non-volatile entry; bytes freed (0 = none).
+
+        ``expected_tick`` guards against the choose/evict race: the
+        global evictor picks its victim cache by :meth:`lru_tick`, and a
+        hit landing between that read and this call refreshes the entry
+        (new tick, moved to the back) — evicting whatever is oldest *now*
+        would remove an entry the tick comparison never justified.  When
+        the current LRU entry's tick differs from ``expected_tick`` this
+        is a no-op returning 0, and the caller re-picks its victim.
+        """
         with self._lock:
             victim = None
+            victim_entry = None
             for key, entry in self._data.items():
                 if not entry.volatile:
-                    victim = key
+                    victim, victim_entry = key, entry
                     break
             if victim is None:
+                return 0
+            if expected_tick is not None and victim_entry.tick != expected_tick:
                 return 0
             entry = self._data.pop(victim)
             self.stats.approx_bytes -= entry.nbytes

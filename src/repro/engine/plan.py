@@ -47,6 +47,7 @@ __all__ = [
     "PlanNode",
     "ExplainReport",
     "explain_plan",
+    "topk_plan",
     "BELOW_THRESHOLD",
     "BOUNDS_PRUNED",
 ]
@@ -413,6 +414,56 @@ def _build(node: Query, evaluator, strategy, executor=None, cache=None) -> PlanN
             path=path,
         )
     raise TypeError(f"cannot explain query node {node!r}")
+
+
+def topk_plan(
+    node: Query,
+    evaluator: "UEvaluator",
+    strategy: "ConfidenceStrategy",
+    k: int,
+    executor: "ShardExecutor | None" = None,
+) -> ExplainReport:
+    """The annotated plan for ``ProbDB.topk(node, k)``.
+
+    The racing driver sits above the query like one big conf-family
+    operator: every candidate tuple of the result feeds a Karp–Luby
+    race unless its dissociation enclosure decides it at stage 1.  The
+    root is annotated ``topk[k]·bounds-pruned[m/n]`` — m of the n
+    candidate DNFs have *exact* enclosures, so they are ranked without
+    drawing a single trial — plus the usual ``sharded[w]`` marker when
+    the session fans rounds out.
+    """
+    cache: dict = {}
+    child = _build(node, evaluator, strategy, executor, cache)
+    relation = _eval_relation(evaluator, node, cache)
+    dnfs = [
+        Dnf.for_tuple(relation, row, evaluator.db.w)
+        for row in relation.possible_tuples().rows
+    ]
+    counts: dict[str, int] = {}
+    for dnf in dnfs:
+        method = strategy.choose(dnf)
+        counts[method] = counts.get(method, 0) + 1
+    pruned = sum(
+        1
+        for dnf in dnfs
+        if dnf.is_empty
+        or dnf.is_trivially_true
+        or dnf.size == 1
+        or dissociation_interval(dnf).is_exact
+    )
+    path = f"topk[{k}]·{BOUNDS_PRUNED}[{pruned}/{len(dnfs)}]"
+    sharded = _sharded_path(executor, _conf_fans_out(executor, strategy, dnfs))
+    if sharded is not None:
+        path = f"{path}·{sharded}"
+    root = PlanNode(
+        "topk",
+        strategy=strategy.name,
+        methods=counts,
+        children=(child,),
+        path=path,
+    )
+    return ExplainReport(root, strategy.name)
 
 
 def _children_of(node: Query) -> tuple[Query, ...]:

@@ -36,9 +36,11 @@ from repro.confidence.batch import resolve_backend
 from repro.confidence.dissociation import DEFAULT_BOUND_BUDGET
 from repro.confidence.dnf import Dnf
 from repro.engine.cache import MemoCache, query_fingerprint
-from repro.engine.plan import ExplainReport, explain_plan
+from repro.engine.plan import ExplainReport, explain_plan, topk_plan
 from repro.engine.result import EngineResult
 from repro.engine.strategies import (
+    DEFAULT_DELTA,
+    DEFAULT_EPS,
     ConfidenceReport,
     ConfidenceStrategy,
     compute_batch_with_executor,
@@ -414,6 +416,106 @@ class ProbDB:
         kwargs.setdefault("bounds_budget", DEFAULT_BOUND_BUDGET)
         return _driver(node, self.db, delta=delta, eps0=eps0, rng=generator, **kwargs)
 
+    def topk(
+        self,
+        query: "Query | Q | str",
+        k: int,
+        eps: float | None = None,
+        delta: float | None = None,
+        bounds_budget: int = DEFAULT_BOUND_BUDGET,
+    ):
+        """The k most probable result tuples, by confidence-interval racing.
+
+        Returns a :class:`repro.core.topk.TopKReport` whose ``entries``
+        are the ranked answers (most probable first, ties broken by the
+        deterministic candidate order).  Candidates whose dissociation
+        bound enclosure already clears or misses the k-th boundary are
+        decided with zero trials and error 0; only candidates whose
+        Lemma 5.1 intervals still overlap the running k-th threshold
+        keep drawing trials, so a wide selection costs a fraction of a
+        full :meth:`confidence_all` at the same (ε, δ)::
+
+            report = db.topk("project[CoinType](R)", 10)
+            report.rows              # the ranked data tuples
+            report.bounds_decided    # candidates settled without sampling
+
+        ``eps``/``delta`` default to the session's accuracy targets; an
+        exact session strategy routes to exact confidence computation
+        instead (error 0, nothing sampled).  Results are memoized like
+        queries and bit-identical for every worker count.
+        """
+        node, _source = self._resolve(query)
+        if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        eps_v = (DEFAULT_EPS if self._eps is None else self._eps) if eps is None else eps
+        delta_v = (
+            (DEFAULT_DELTA if self._delta is None else self._delta)
+            if delta is None
+            else delta
+        )
+        result = self.query(node)
+        if not self._cache.enabled:
+            return self._topk_compute(result, k, eps_v, delta_v, bounds_budget)
+        token = self.strategy.cache_token
+        if self.executor is not None:
+            token = token + (self.executor.plan_token,)
+        key = (
+            "topk",
+            query_fingerprint(node),
+            k,
+            eps_v,
+            delta_v,
+            bounds_budget,
+            token,
+            self.db.version,
+            self.db.w.version,
+        )
+        cached = self._cache.get(key)
+        if cached is None:
+            # A race that sampled consumed session RNG: volatile, the
+            # cross-session evictor must leave it alone (same rule as
+            # sampled query evaluations).
+            rng_before = self._rng.getstate()
+            cached = self._topk_compute(result, k, eps_v, delta_v, bounds_budget)
+            self._cache.put(key, cached, volatile=self._rng.getstate() != rng_before)
+        return cached
+
+    def _topk_compute(self, result: EngineResult, k, eps, delta, bounds_budget):
+        from repro.core.topk import TopKEntry, TopKReport, race_topk
+
+        rows = result.rows
+        dnfs = [Dnf.for_tuple(result.relation, row, self.db.w) for row in rows]
+        if self.strategy.name in ("exact-decomposition", "exact-enumeration"):
+            # Strategy routing: an exact session owes exact answers, so
+            # the ranking comes from exact confidences — no race, no
+            # trials, error 0 (and the memo entry is freely evictable).
+            reports = self._compute_confidence_batch(dnfs, self.strategy)
+            order = sorted(range(len(rows)), key=lambda i: (-reports[i].value, i))
+            entries = tuple(
+                TopKEntry(
+                    row=tuple(rows[i]),
+                    value=reports[i].value,
+                    lower=reports[i].value,
+                    upper=reports[i].value,
+                    exact=True,
+                    trials=0,
+                    source="exact",
+                )
+                for i in order[:k]
+            )
+            return TopKReport(entries, k, eps, delta, len(rows), 0, 0, 0, 0, 0)
+        return race_topk(
+            rows,
+            dnfs,
+            k,
+            eps,
+            delta,
+            rng=self._rng,
+            backend=self.backend,
+            executor=self.executor,
+            bounds_budget=bounds_budget,
+        )
+
     def explain(self, query: "Query | Q | str") -> ExplainReport:
         """The plan for ``query``, with the strategy chosen per conf operator.
 
@@ -442,6 +544,29 @@ class ProbDB:
             executor=self.executor,
         )
         return explain_plan(node, scratch, self.strategy, executor=self.executor)
+
+    def explain_topk(self, query: "Query | Q | str", k: int) -> ExplainReport:
+        """The plan for ``topk(query, k)``, with the stage-1 pruning census.
+
+        Like :meth:`explain`, runs against a throwaway copy with a
+        fixed-seed scratch RNG; the root node is annotated
+        ``topk[k]·bounds-pruned[m/n]`` — m of the n candidates are
+        decided by their dissociation enclosures before any sampling::
+
+            print(db.explain_topk("project[CoinType](R)", 2))
+        """
+        node, _source = self._resolve(query)
+        if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        scratch = UEvaluator(
+            self.db,
+            conf_method="decomposition",
+            rng=random.Random(0),
+            copy_db=True,
+            backend=self.backend,
+            executor=self.executor,
+        )
+        return topk_plan(node, scratch, self.strategy, k, executor=self.executor)
 
     # ------------------------------------------------------------ confidence internals
     def tuple_confidence(self, relation: URelation, row: Sequence) -> ConfidenceReport:

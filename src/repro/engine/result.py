@@ -106,6 +106,20 @@ class EngineResult:
             self._conf[key] = report
         return report
 
+    def topk(self, k: int, eps=None, delta=None, bounds_budget=None):
+        """The ``k`` most probable tuples, by confidence-interval racing.
+
+        Delegates to :meth:`repro.engine.probdb.ProbDB.topk` on the
+        originating query — the query evaluation itself is memoized on
+        the session, so only the racing driver runs.  ``eps``/``delta``
+        default to the session guarantee; see the facade method for the
+        full contract.
+        """
+        kwargs = {}
+        if bounds_budget is not None:
+            kwargs["bounds_budget"] = bounds_budget
+        return self._engine.topk(self.query, k, eps=eps, delta=delta, **kwargs)
+
     def confidences(self) -> dict[tuple, "ConfidenceReport"]:
         """Confidence reports for every possible tuple, in one batched pass.
 

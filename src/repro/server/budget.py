@@ -57,13 +57,21 @@ class CacheBudget:
         self.rebalance()
 
     def unregister(self, cache: MemoCache) -> None:
-        """Stop accounting ``cache`` (its session closed)."""
-        cache.set_budget(None)
+        """Stop accounting ``cache`` (its session closed).
+
+        Order matters: the cache leaves the registry *before* the
+        attachment is cleared.  A ``put`` racing this close may still
+        poke one last ``rebalance`` (it read the attachment before the
+        detach), but by then the rebalance no longer counts the closing
+        cache's bytes — so a dying session's inserts can never evict
+        other tenants' entries on its behalf.
+        """
         with self._lock:
             try:
                 self._caches.remove(cache)
             except ValueError:
                 pass
+        cache.set_budget(None)
 
     # ------------------------------------------------------------ balancing
     def total_bytes(self) -> int:
@@ -97,7 +105,11 @@ class CacheBudget:
                     victim, victim_tick = cache, tick
             if victim is None:
                 return freed_total
-            freed = victim.evict_lru()
+            # The tick the victim was chosen by travels with the
+            # eviction: if a hit refreshed the entry in between, the
+            # cache no-ops (the comparison that made it the global LRU
+            # no longer holds) and the next round re-picks.
+            freed = victim.evict_lru(victim_tick)
             if freed <= 0:
                 # Raced with a hit that refreshed the entry; try again —
                 # unless nothing is evictable anymore.

@@ -65,12 +65,15 @@ __all__ = [
     "decode_rows",
     "encode_report",
     "encode_driver_report",
+    "encode_topk_report",
 ]
 
 PROTOCOL_VERSION = 1
 
 CONTROL_OPS = frozenset({"open_session", "close_session", "stats"})
-COMPUTE_OPS = frozenset({"query", "confidence_all", "evaluate_with_guarantee", "explain"})
+COMPUTE_OPS = frozenset(
+    {"query", "confidence_all", "evaluate_with_guarantee", "explain", "topk"}
+)
 OPS = CONTROL_OPS | COMPUTE_OPS
 
 
@@ -198,6 +201,40 @@ def encode_report(report) -> dict:
         "delta": report.delta,
         "lower": encode_value(report.lower),
         "upper": encode_value(report.upper),
+    }
+
+
+def encode_topk_report(report) -> dict:
+    """A :class:`~repro.core.topk.TopKReport`, losslessly.
+
+    Entry values and bounds keep their exactness across the wire (exact
+    Fractions ride the ``$frac`` tag, sampled floats ride JSON's repr),
+    so a client-side decode compares bit-identical to a direct
+    ``ProbDB.topk`` call — the property the cross-worker determinism
+    tests assert through the whole stack.
+    """
+    return {
+        "k": report.k,
+        "eps": report.eps,
+        "delta": report.delta,
+        "entries": [
+            {
+                "row": encode_value(entry.row),
+                "value": encode_value(entry.value),
+                "lower": encode_value(entry.lower),
+                "upper": encode_value(entry.upper),
+                "exact": entry.exact,
+                "trials": entry.trials,
+                "source": entry.source,
+            }
+            for entry in report.entries
+        ],
+        "candidates": report.candidates,
+        "bounds_decided": report.bounds_decided,
+        "sampled": report.sampled,
+        "rounds": report.rounds,
+        "total_trials": report.total_trials,
+        "full_trials": report.full_trials,
     }
 
 

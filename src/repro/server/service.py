@@ -73,6 +73,7 @@ from repro.server.protocol import (
     encode_driver_report,
     encode_report,
     encode_rows,
+    encode_topk_report,
     encode_value,
     error_response,
     ok_response,
@@ -392,6 +393,24 @@ class Server:
             )
             self._bounds_certified += report.bounds_certified
             return encode_driver_report(report)
+        if op == "topk":
+            k = params.get("k")
+            if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+                raise ProtocolError("topk needs a positive integer 'k' param")
+            kwargs = {}
+            for name in ("eps", "delta"):
+                if name in params and params[name] is not None:
+                    value = params[name]
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        raise ProtocolError(f"topk param {name!r} must be numeric")
+                    kwargs[name] = value
+            if "bounds_budget" in params:
+                budget = params["bounds_budget"]
+                if isinstance(budget, bool) or not isinstance(budget, int):
+                    raise ProtocolError("bounds_budget must be an int")
+                kwargs["bounds_budget"] = budget
+            report = db.topk(self._query_text(params), k, **kwargs)
+            return encode_topk_report(report)
         if op == "explain":
             return {"text": str(db.explain(self._query_text(params)))}
         raise ProtocolError(f"unhandled compute op {op!r}")
@@ -552,6 +571,31 @@ class SessionHandle:
             "evaluate_with_guarantee",
             session=self.session_id,
             params=params,
+        )
+        return decode_value(result)
+
+    async def topk(
+        self,
+        query: str,
+        k: int,
+        eps: float | None = None,
+        delta: float | None = None,
+        bounds_budget: int | None = None,
+    ) -> dict:
+        """The decoded top-k racing report (entries keep exact values).
+
+        Mirrors :meth:`ProbDB.topk`; ``eps``/``delta`` default to the
+        server session's guarantee.
+        """
+        params: dict = {"query": query, "k": k}
+        if eps is not None:
+            params["eps"] = eps
+        if delta is not None:
+            params["delta"] = delta
+        if bounds_budget is not None:
+            params["bounds_budget"] = bounds_budget
+        result = await self._client.call(
+            "topk", session=self.session_id, params=params
         )
         return decode_value(result)
 

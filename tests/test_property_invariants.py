@@ -23,6 +23,7 @@ from repro.core import (
     Orthotope,
     clamp_epsilon,
     epsilon_for_predicate,
+    relative_interval,
     singularity_radius,
 )
 from repro.urel.conditions import Condition
@@ -145,6 +146,70 @@ class TestEpsilonInvariants:
         eps = epsilon_for_predicate(pred, point)
         radius = singularity_radius(pred, point)
         assert (eps == 0) == (radius == 0) == (px == tau)
+
+
+class TestIntervalGeometryInvariants:
+    """The three interval notions the top-k racer composes must agree:
+    the exact confidence lies in the dissociation enclosure at every
+    budget, any estimate honouring the relative guarantee puts the truth
+    inside its Lemma 5.1 interval (and the Orthotope membership test
+    says the same), so the racer's intersected interval is never empty.
+    """
+
+    @given(clause_sets(), st.sampled_from([0, 1, 4, 64]))
+    @settings(max_examples=60)
+    def test_exact_confidence_inside_enclosure_at_every_budget(self, data, budget):
+        from repro.confidence.dissociation import dissociation_interval
+
+        w, clauses = data
+        dnf = Dnf(clauses, w)
+        p = probability_by_decomposition(dnf)
+        interval = dissociation_interval(dnf, budget)
+        assert interval.lower <= p <= interval.upper
+        assert p in interval
+        if interval.is_exact:
+            assert interval.lower == p
+
+    @given(
+        clause_sets(),
+        st.floats(0.01, 0.5),
+        st.floats(-0.95, 0.95),
+    )
+    @settings(max_examples=60)
+    def test_honest_estimates_put_truth_in_lemma_51_interval(self, data, eps, theta):
+        """p̂ with |p̂ − p| < ε·p ⇒ p ∈ (p̂/(1+ε), p̂/(1−ε)); the interval
+        and the Orthotope membership test must agree on it."""
+        w, clauses = data
+        p = float(probability_by_decomposition(Dnf(clauses, w)))
+        p_hat = p * (1.0 + theta * eps)
+        lo, hi = relative_interval(p_hat, eps)
+        assert lo <= p <= hi
+        box = Orthotope({"p": p_hat}, eps)
+        assert box.contains({"p": p}, closed=True) == (lo <= p <= hi)
+
+    @given(
+        clause_sets(),
+        st.sampled_from([0, 4, 64]),
+        st.floats(0.01, 0.5),
+        st.floats(-0.95, 0.95),
+    )
+    @settings(max_examples=60)
+    def test_racing_intersection_is_never_empty(self, data, budget, eps, theta):
+        """The racer clips Lemma 5.1 intervals to the enclosure; both
+        contain the truth for honest estimates, so the clip cannot be
+        empty — the δ-event collapse branch is for dishonest draws only."""
+        from repro.confidence.dissociation import dissociation_interval
+
+        w, clauses = data
+        dnf = Dnf(clauses, w)
+        p = probability_by_decomposition(dnf)
+        enclosure = dissociation_interval(dnf, budget)
+        p_hat = float(p) * (1.0 + theta * eps)
+        rel_lo, rel_hi = relative_interval(p_hat, eps)
+        clipped_lo = max(rel_lo, float(enclosure.lower))
+        clipped_hi = min(rel_hi, float(enclosure.upper))
+        assert clipped_lo <= clipped_hi
+        assert clipped_lo <= float(p) <= clipped_hi
 
 
 class TestAccountingInvariants:

@@ -250,6 +250,198 @@ class TestCacheBudget:
         assert len(cache) == 1  # no longer under the budget
 
 
+class TestApproxSizeBoundary:
+    """Regression: the traversal cap was checked before counting, so
+    ``max_nodes=0`` (and a cap reached exactly at the root) reported 0
+    bytes — a free pass under the byte budget.  The cap is now
+    inclusive and the root always counts."""
+
+    def test_zero_cap_still_counts_the_root(self):
+        value = list(range(100))
+        assert approx_size(value, max_nodes=0) > 0
+
+    def test_cap_one_counts_exactly_the_root(self):
+        import sys
+
+        value = list(range(100))
+        assert approx_size(value, max_nodes=1) == sys.getsizeof(value)
+        # max_nodes=0 clamps to the same "root only" floor.
+        assert approx_size(value, max_nodes=0) == sys.getsizeof(value)
+
+    def test_cap_counts_exactly_n_objects_on_flat_containers(self):
+        import sys
+
+        # 50 distinct equal-footprint elements: cap=n counts the root
+        # plus n−1 of them, whatever order the traversal pops.
+        elements = [10_000 + i for i in range(50)]
+        value = list(elements)
+        per_element = sys.getsizeof(elements[0])
+        assert all(sys.getsizeof(e) == per_element for e in elements)
+        root = sys.getsizeof(value)
+        for cap in (1, 2, 10, 51):
+            assert approx_size(value, max_nodes=cap) == root + (cap - 1) * per_element
+        # Past the object count the full size is reported, not more.
+        full = root + 50 * per_element
+        assert approx_size(value, max_nodes=1000) == full
+
+
+class TestEvictionRaceRegressions:
+    """Regressions for the choose/evict and attach/detach races.
+
+    ``CacheBudget.rebalance`` picks its victim cache by ``lru_tick`` and
+    then evicts; a hit landing in between used to refresh the chosen
+    entry yet still get a *different* entry evicted on its behalf.  And
+    ``MemoCache._budget`` was read without the lock, so a put racing
+    ``unregister`` could poke a detached budget into evicting other
+    tenants' entries against a stale total.
+    """
+
+    def test_evict_lru_noops_on_stale_tick(self):
+        cache = _filled_cache(["old", "new"])
+        stale = cache.lru_tick()
+        cache.get("old")  # refresh: the tick comparison no longer holds
+        assert cache.evict_lru(stale) == 0
+        assert len(cache) == 2  # nothing was evicted on the stale claim
+        # With the *current* tick (now "new"'s) the eviction proceeds.
+        assert cache.evict_lru(cache.lru_tick()) > 0
+        assert len(cache) == 1
+        # And the unguarded call keeps its pre-existing contract.
+        assert cache.evict_lru() > 0
+        assert len(cache) == 0
+
+    def test_rebalance_repicks_after_interposed_hit(self):
+        """A hit between choose and evict must redirect, not misfire."""
+
+        class Interposed(MemoCache):
+            """Refreshes the chosen entry once, right before eviction —
+            the worst-case interleaving, made deterministic."""
+
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.interpose_key = None
+
+            def evict_lru(self, expected_tick=None):
+                if self.interpose_key is not None:
+                    key, self.interpose_key = self.interpose_key, None
+                    self.get(key)
+                return super().evict_lru(expected_tick)
+
+        cache = Interposed(64)
+        cache.put("hot", list(range(64)))
+        cache.put("cold", list(range(64)))
+        # "hot" is the current LRU head; the interposed hit refreshes it
+        # mid-eviction, so the rebalance must re-pick and evict "cold".
+        cache.interpose_key = "hot"
+        budget = CacheBudget(max_bytes=cache.approx_bytes - 1)
+        budget.register(cache)
+        assert cache.get("hot") is not None
+        assert cache.get("cold") is None
+        assert budget.evictions == 1
+
+    def test_hammered_hits_never_divert_eviction(self):
+        """Thread-hammer the race window: hits during rebalance may only
+        delay eviction, never misdirect it onto the refreshed entry."""
+        cache = MemoCache(256)
+        cache.put("hot", list(range(64)))
+        for i in range(40):
+            cache.put(("cold", i), list(range(64)))
+        cache.get("hot")  # hot is now strictly newer than every cold entry
+        # Budget pinned at the current footprint: every further put must
+        # evict, but ~40 colder entries always shield the hot one — only
+        # a misdirected eviction could remove it.
+        budget = CacheBudget(max_bytes=cache.approx_bytes)
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                cache.get("hot")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            budget.register(cache)  # every put below rebalances under fire
+            for i in range(40, 60):
+                cache.get("hot")
+                cache.put(("cold", i), list(range(64)))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert cache.get("hot") is not None  # the hot entry survived
+        assert budget.evictions > 0  # the shield was under real pressure
+        assert cache.stats.entries == len(cache)
+
+    def test_detached_cache_never_pokes_the_budget(self):
+        class Counting(CacheBudget):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.rebalances = 0
+
+            def rebalance(self):
+                self.rebalances += 1
+                return super().rebalance()
+
+        budget = Counting(max_bytes=None)
+        cache = MemoCache(64)
+        budget.register(cache)
+        cache.put("while-attached", "v")
+        attached = budget.rebalances
+        assert attached >= 1
+        budget.unregister(cache)
+        cache.put("after-detach", "v")
+        assert budget.rebalances == attached  # detach is a hard stop
+
+    def test_closing_tenants_puts_cannot_evict_survivors(self):
+        """Hammer close-during-put: concurrent register/put/unregister
+        cycles must never corrupt the registry, divert eviction onto the
+        surviving tenant, or let a detached cache lose its late puts."""
+        budget = CacheBudget(max_bytes=None)
+        survivor = MemoCache(64)
+        budget.register(survivor)
+        for i in range(8):
+            # Volatile: pinned against *legitimate* cross-cache eviction,
+            # so any disappearance can only come from the race under test.
+            survivor.put(("keep", i), list(range(64)), volatile=True)
+        # A budget the survivor alone fits, with no room for anyone else.
+        budget.max_bytes = survivor.approx_bytes
+
+        errors: list[Exception] = []
+        closers: list[MemoCache] = []
+        closers_lock = threading.Lock()
+
+        def churn(worker):
+            try:
+                for round_no in range(20):
+                    closer = MemoCache(64)
+                    budget.register(closer)
+                    for j in range(4):
+                        closer.put((worker, round_no, j), list(range(64)))
+                    budget.unregister(closer)
+                    for j in range(4):  # detached puts: must not poke
+                        closer.put((worker, round_no, "late", j), "v")
+                    with closers_lock:
+                        closers.append(closer)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(survivor) == 8  # every survivor entry is intact
+        assert all(survivor.get(("keep", i)) is not None for i in range(8))
+        # Detached caches are out of the evictor's reach: every late put
+        # survives, whatever rebalances its earlier puts provoked.
+        assert len(closers) == 80
+        for closer in closers:
+            assert closer.stats.entries >= 4
+        # The registry quiesced back to the lone survivor.
+        assert budget.total_bytes() == survivor.approx_bytes
+
+
 # ====================================================================== protocol
 class TestProtocol:
     def test_values_round_trip_losslessly(self):
